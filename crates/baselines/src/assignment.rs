@@ -1,0 +1,93 @@
+//! Item-to-node assignment shared by the baseline protocols.
+//!
+//! Baselines (unlike DHS) operate on whatever items each node happens to
+//! hold locally: the counting question is "how many *distinct* items
+//! exist across all nodes", and the same item can sit on several nodes
+//! (replicated files, duplicate sensor readings).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use dhs_dht::ring::Ring;
+
+/// The items each (alive) node locally holds.
+#[derive(Debug, Clone, Default)]
+pub struct ItemAssignment {
+    items: HashMap<u64, Vec<u64>>,
+}
+
+impl ItemAssignment {
+    /// Assign each item of `stream` to a uniformly random alive node.
+    /// Duplicates in the stream land independently, so the same item ends
+    /// up on several nodes.
+    pub fn uniform(ring: &Ring, stream: &[u64], rng: &mut impl Rng) -> Self {
+        let mut items: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &item in stream {
+            let node = ring.random_alive(rng);
+            items.entry(node).or_default().push(item);
+        }
+        ItemAssignment { items }
+    }
+
+    /// The items node `node` holds (empty slice if none).
+    pub fn items_of(&self, node: u64) -> &[u64] {
+        self.items.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// Local item count of `node` (duplicates included).
+    pub fn local_count(&self, node: u64) -> u64 {
+        self.items_of(node).len() as u64
+    }
+
+    /// Total stream length across all nodes (duplicates included).
+    pub fn total_items(&self) -> u64 {
+        self.items.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Exact number of distinct items across all nodes (ground truth).
+    pub fn distinct_items(&self) -> u64 {
+        let mut all: Vec<u64> = self.items.values().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhs_dht::ring::RingConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn assignment_covers_all_items() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ring = Ring::build(16, RingConfig::default(), &mut rng);
+        let stream: Vec<u64> = (0..1000).map(|i| i % 250).collect(); // 4 copies each
+        let a = ItemAssignment::uniform(&ring, &stream, &mut rng);
+        assert_eq!(a.total_items(), 1000);
+        assert_eq!(a.distinct_items(), 250);
+    }
+
+    #[test]
+    fn assignment_spreads_load() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ring = Ring::build(10, RingConfig::default(), &mut rng);
+        let stream: Vec<u64> = (0..10_000).collect();
+        let a = ItemAssignment::uniform(&ring, &stream, &mut rng);
+        for &node in ring.alive_ids() {
+            let c = a.local_count(node) as f64;
+            assert!((600.0..1400.0).contains(&c), "node load {c}");
+        }
+    }
+
+    #[test]
+    fn missing_node_has_no_items() {
+        let a = ItemAssignment::default();
+        assert_eq!(a.local_count(42), 0);
+        assert!(a.items_of(42).is_empty());
+        assert_eq!(a.distinct_items(), 0);
+    }
+}

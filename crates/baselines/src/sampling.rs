@@ -1,0 +1,133 @@
+//! Node-sampling estimation.
+//!
+//! Query `s` uniformly random nodes (each reached by a DHT lookup of a
+//! random key), sum their local item counts, and extrapolate by `N/s`.
+//! Cheap and simple, but — as the paper's §1 stresses — (i) the variance
+//! only shrinks as `1/√s`, so tight confidence costs many probes, and
+//! (ii) the count is over the local *streams*, so duplicates across
+//! nodes inflate the answer (constraint 6).
+
+use rand::Rng;
+
+use dhs_dht::cost::CostLedger;
+use dhs_dht::ring::Ring;
+
+use crate::assignment::ItemAssignment;
+
+/// Result of a sampling estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingOutcome {
+    /// Extrapolated total-item estimate (`N/s · Σ local counts`).
+    pub estimate: f64,
+    /// Nodes actually sampled.
+    pub sampled: usize,
+}
+
+/// Sample `s` random nodes from `origin` and extrapolate the total item
+/// count. Each sample is one routed lookup (a random key's owner) plus an
+/// 8-byte response.
+pub fn estimate_total(
+    ring: &Ring,
+    assignment: &ItemAssignment,
+    origin: u64,
+    s: usize,
+    rng: &mut impl Rng,
+    ledger: &mut CostLedger,
+) -> SamplingOutcome {
+    assert!(s >= 1);
+    let n = ring.len_alive();
+    let mut total = 0u64;
+    for _ in 0..s {
+        // Uniform node sampling via a random key lookup. (Key-space
+        // ownership is not perfectly uniform per node; this mirrors the
+        // bias a real DHT sampler has.)
+        let key: u64 = rng.gen();
+        let hops_before = ledger.hops();
+        let node = ring.route(origin, key, ledger);
+        let hops = ledger.hops() - hops_before;
+        ledger.record_visit(node);
+        ledger.charge_message(0);
+        ledger.charge_bytes(8 * hops.max(1) + 8);
+        total += assignment.local_count(node);
+    }
+    SamplingOutcome {
+        estimate: total as f64 * n as f64 / s as f64,
+        sampled: s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhs_dht::ring::RingConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64, copies: usize) -> (Ring, ItemAssignment, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ring = Ring::build(256, RingConfig::default(), &mut rng);
+        let stream: Vec<u64> = (0..20_000 * copies as u64).map(|i| i % 20_000).collect();
+        let a = ItemAssignment::uniform(&ring, &stream, &mut rng);
+        (ring, a, rng)
+    }
+
+    #[test]
+    fn large_sample_approaches_total() {
+        let (ring, a, mut rng) = setup(1, 1);
+        let origin = ring.alive_ids()[0];
+        let mut ledger = CostLedger::new();
+        let out = estimate_total(&ring, &a, origin, 200, &mut rng, &mut ledger);
+        let total = a.total_items() as f64;
+        assert!(
+            (out.estimate - total).abs() / total < 0.25,
+            "sampled estimate {} vs {total}",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn sampling_is_duplicate_sensitive() {
+        let (ring, a, mut rng) = setup(2, 3);
+        let origin = ring.alive_ids()[0];
+        let mut ledger = CostLedger::new();
+        let out = estimate_total(&ring, &a, origin, 200, &mut rng, &mut ledger);
+        let distinct = a.distinct_items() as f64;
+        assert!(
+            out.estimate > 2.0 * distinct,
+            "duplicates should inflate: {} vs {distinct}",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn variance_shrinks_with_sample_size() {
+        let (ring, a, _) = setup(3, 1);
+        let origin = ring.alive_ids()[0];
+        let total = a.total_items() as f64;
+        let spread = |s: usize| {
+            let mut errs = Vec::new();
+            for seed in 0..30u64 {
+                let mut rng = StdRng::seed_from_u64(1000 + seed);
+                let mut ledger = CostLedger::new();
+                let out = estimate_total(&ring, &a, origin, s, &mut rng, &mut ledger);
+                errs.push(((out.estimate - total) / total).abs());
+            }
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        let small = spread(5);
+        let big = spread(80);
+        assert!(big < small, "mean |err| small-s {small}, big-s {big}");
+    }
+
+    #[test]
+    fn cost_scales_with_sample_size() {
+        let (ring, a, mut rng) = setup(4, 1);
+        let origin = ring.alive_ids()[0];
+        let mut l1 = CostLedger::new();
+        estimate_total(&ring, &a, origin, 10, &mut rng, &mut l1);
+        let mut l2 = CostLedger::new();
+        estimate_total(&ring, &a, origin, 100, &mut rng, &mut l2);
+        assert!(l2.hops() > 5 * l1.hops());
+        assert_eq!(l2.messages(), 100);
+    }
+}

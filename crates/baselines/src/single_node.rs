@@ -1,0 +1,188 @@
+//! One-node-per-counter (the "first thing that comes to mind" baseline).
+//!
+//! A counter for `metric` lives at `successor(hash(metric))`. Every node
+//! routes its updates there; a query is one lookup. The paper's §1
+//! critique, which the cost ledger makes visible:
+//!
+//! * the counter node absorbs *every* update and query (constraints 2–3:
+//!   scalability, load balance — watch the visit Gini coefficient);
+//! * the naive increment counter is duplicate-sensitive (constraint 6);
+//!   making it duplicate-insensitive requires the counter node to store
+//!   the full distinct-item set (`O(n)` state on one machine).
+
+use dhs_dht::cost::CostLedger;
+use dhs_dht::ring::Ring;
+use dhs_sketch::{ItemHasher, SplitMix64};
+
+use crate::assignment::ItemAssignment;
+
+/// How the counter node aggregates updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterMode {
+    /// Plain increments: counts the *stream*, duplicates included.
+    NaiveSum,
+    /// The counter node keeps the distinct-item id set: exact distinct
+    /// count, at `O(n)` storage on a single node.
+    ExactSet,
+}
+
+/// Result of running the single-node counter protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleNodeOutcome {
+    /// The produced count.
+    pub estimate: f64,
+    /// The node hosting the counter.
+    pub counter_node: u64,
+    /// Messages delivered to the counter node (its access load).
+    pub counter_node_visits: u64,
+    /// Entries the counter node stores (1 for `NaiveSum`, the distinct
+    /// set size for `ExactSet`).
+    pub counter_node_entries: u64,
+}
+
+/// Run the full protocol: every node pushes one batched update per item
+/// it holds, then one query is issued from a random node.
+///
+/// Each update message carries `8` bytes per item id (ExactSet) or a
+/// fixed 8-byte delta (NaiveSum, one message per node).
+pub fn run(
+    ring: &Ring,
+    assignment: &ItemAssignment,
+    metric: u32,
+    mode: CounterMode,
+    ledger: &mut CostLedger,
+) -> SingleNodeOutcome {
+    let hasher = SplitMix64::default();
+    let counter_key = hasher.hash_u64(u64::from(metric));
+    let counter_node = ring.successor(counter_key);
+
+    let mut naive_total = 0u64;
+    let mut distinct: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for &node in ring.alive_ids() {
+        let items = assignment.items_of(node);
+        if items.is_empty() {
+            continue;
+        }
+        let hops_before = ledger.hops();
+        let owner = ring.route(node, counter_key, ledger);
+        debug_assert_eq!(owner, counter_node);
+        let hops = ledger.hops() - hops_before;
+        if hops == 0 {
+            // Local delivery (the updater *is* the counter node); routed
+            // deliveries are recorded by `route` itself.
+            ledger.record_visit(counter_node);
+        }
+        let payload = match mode {
+            CounterMode::NaiveSum => 8,
+            CounterMode::ExactSet => 8 * items.len() as u64,
+        };
+        ledger.charge_message(0);
+        ledger.charge_bytes(payload * hops.max(1));
+        match mode {
+            CounterMode::NaiveSum => naive_total += items.len() as u64,
+            CounterMode::ExactSet => distinct.extend(items.iter().copied()),
+        }
+    }
+
+    // Query from the first alive node: one lookup + 8-byte answer.
+    let querier = ring.alive_ids()[0];
+    let hops_before = ledger.hops();
+    ring.route(querier, counter_key, ledger);
+    let hops = ledger.hops() - hops_before;
+    if hops == 0 {
+        ledger.record_visit(counter_node);
+    }
+    ledger.charge_message(0);
+    ledger.charge_bytes(8 * hops.max(1));
+
+    let (estimate, entries) = match mode {
+        CounterMode::NaiveSum => (naive_total as f64, 1),
+        CounterMode::ExactSet => (distinct.len() as f64, distinct.len() as u64),
+    };
+    SingleNodeOutcome {
+        estimate,
+        counter_node,
+        counter_node_visits: ledger.visits_to(counter_node),
+        counter_node_entries: entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhs_dht::ring::RingConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (Ring, ItemAssignment, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ring = Ring::build(64, RingConfig::default(), &mut rng);
+        // 500 distinct items, 3 copies each.
+        let stream: Vec<u64> = (0..1500).map(|i| i % 500).collect();
+        let a = ItemAssignment::uniform(&ring, &stream, &mut rng);
+        (ring, a, rng)
+    }
+
+    #[test]
+    fn naive_sum_counts_duplicates() {
+        let (ring, a, _) = setup(1);
+        let mut ledger = CostLedger::new();
+        let out = run(&ring, &a, 7, CounterMode::NaiveSum, &mut ledger);
+        assert_eq!(out.estimate, 1500.0, "duplicate-sensitive by design");
+        assert_eq!(out.counter_node_entries, 1);
+    }
+
+    #[test]
+    fn exact_set_counts_distinct_but_hoards_state() {
+        let (ring, a, _) = setup(2);
+        let mut ledger = CostLedger::new();
+        let out = run(&ring, &a, 7, CounterMode::ExactSet, &mut ledger);
+        assert_eq!(out.estimate, 500.0);
+        assert_eq!(out.counter_node_entries, 500, "O(n) state on one node");
+    }
+
+    #[test]
+    fn counter_node_is_the_hotspot() {
+        let (ring, a, _) = setup(3);
+        let mut ledger = CostLedger::new();
+        let out = run(&ring, &a, 7, CounterMode::NaiveSum, &mut ledger);
+        // Every updating node + the query hit the counter node.
+        let updaters = ring
+            .alive_ids()
+            .iter()
+            .filter(|&&n| !a.items_of(n).is_empty())
+            .count() as u64;
+        assert_eq!(out.counter_node_visits, updaters + 1);
+        // Load is maximally concentrated: the counter node's visits
+        // strictly dominate every other node's (routing waypoints near
+        // the counter absorb a share too, but never every message).
+        let max_other = ring
+            .alive_ids()
+            .iter()
+            .filter(|&&n| n != out.counter_node)
+            .map(|&n| ledger.visits_to(n))
+            .max()
+            .unwrap();
+        assert!(
+            out.counter_node_visits > max_other,
+            "counter {} vs max other {max_other}",
+            out.counter_node_visits
+        );
+        // And the overall access-load distribution is heavily skewed.
+        assert!(ledger.load_summary().gini > 0.3);
+    }
+
+    #[test]
+    fn deterministic_counter_placement() {
+        let (ring, a, _) = setup(4);
+        let mut l1 = CostLedger::new();
+        let mut l2 = CostLedger::new();
+        let a_out = run(&ring, &a, 7, CounterMode::NaiveSum, &mut l1);
+        let b_out = run(&ring, &a, 7, CounterMode::NaiveSum, &mut l2);
+        assert_eq!(a_out.counter_node, b_out.counter_node);
+        // A different metric usually lands elsewhere.
+        let mut l3 = CostLedger::new();
+        let c_out = run(&ring, &a, 8, CounterMode::NaiveSum, &mut l3);
+        assert_ne!(a_out.counter_node, c_out.counter_node);
+    }
+}

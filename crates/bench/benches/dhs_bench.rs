@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks for the DHS protocol: insertion, counting
+//! and histogram reconstruction end-to-end (simulated time, real work).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dhs_core::{Dhs, DhsConfig, EstimatorKind};
+use dhs_dht::cost::CostLedger;
+use dhs_dht::ring::{Ring, RingConfig};
+use dhs_histogram::{BucketSpec, DhsHistogram};
+use dhs_sketch::{ItemHasher, SplitMix64};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn populated(m: usize, n: u64) -> (Dhs, Ring, StdRng) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ring = Ring::build(1024, RingConfig::default(), &mut rng);
+    let dhs = Dhs::new(DhsConfig {
+        m,
+        k: 28,
+        ..DhsConfig::default()
+    })
+    .unwrap();
+    let hasher = SplitMix64::default();
+    let keys: Vec<u64> = (0..n).map(|i| hasher.hash_u64(i)).collect();
+    let origins = ring.alive_ids().to_vec();
+    let mut ledger = CostLedger::new();
+    for (chunk, &origin) in keys.chunks(1024).zip(origins.iter().cycle()) {
+        dhs.bulk_insert(&mut ring, 1, chunk, origin, &mut rng, &mut ledger);
+    }
+    (dhs, ring, rng)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dhs_insert");
+    group.throughput(Throughput::Elements(1));
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ring = Ring::build(1024, RingConfig::default(), &mut rng);
+    let dhs = Dhs::new(DhsConfig::default()).unwrap();
+    let hasher = SplitMix64::default();
+    let origins = ring.alive_ids().to_vec();
+    group.bench_function("per_item/1024_nodes", |b| {
+        let mut i = 0u64;
+        let mut ledger = CostLedger::new();
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let origin = origins[(i % origins.len() as u64) as usize];
+            dhs.insert(
+                &mut ring,
+                1,
+                hasher.hash_u64(black_box(i)),
+                origin,
+                &mut rng,
+                &mut ledger,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dhs_count");
+    group.sample_size(20);
+    for (m, estimator) in [
+        (512usize, EstimatorKind::SuperLogLog),
+        (512, EstimatorKind::Pcsa),
+    ] {
+        let (_, ring, mut rng) = populated(m, 500_000);
+        let dhs = Dhs::new(DhsConfig {
+            m,
+            k: 28,
+            estimator,
+            ..DhsConfig::default()
+        })
+        .unwrap();
+        group.bench_function(BenchmarkId::new(format!("{estimator}"), m), |b| {
+            b.iter(|| {
+                let origin = ring.random_alive(&mut rng);
+                let mut ledger = CostLedger::new();
+                black_box(dhs.count(&ring, 1, origin, &mut rng, &mut ledger))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_histogram_reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dhs_histogram");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut ring = Ring::build(1024, RingConfig::default(), &mut rng);
+    let dhs = Dhs::new(DhsConfig {
+        m: 128,
+        k: 28,
+        ..DhsConfig::default()
+    })
+    .unwrap();
+    let hasher = SplitMix64::default();
+    let spec = BucketSpec::new(0, 9_999, 100, 1_000);
+    // 200k tuples with uniform values.
+    use rand::Rng;
+    for i in 0..200_000u64 {
+        let value = rng.gen_range(0..10_000u32);
+        let bucket = spec.bucket_of(value).unwrap();
+        let origin = ring.random_alive(&mut rng);
+        dhs.insert(
+            &mut ring,
+            spec.metric_of(bucket),
+            hasher.hash_u64(i),
+            origin,
+            &mut rng,
+            &mut CostLedger::new(),
+        );
+    }
+    group.bench_function("reconstruct_100_buckets", |b| {
+        b.iter(|| {
+            let origin = ring.random_alive(&mut rng);
+            let mut ledger = CostLedger::new();
+            black_box(DhsHistogram::reconstruct(
+                &dhs,
+                &ring,
+                spec,
+                origin,
+                &mut rng,
+                &mut ledger,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_count,
+    bench_histogram_reconstruct
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks for the DHT substrate: overlay
+//! construction and routing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhs_dht::cost::CostLedger;
+use dhs_dht::ring::{Ring, RingConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_build");
+    for n in [1024usize, 10240] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(Ring::build(n, RingConfig::default(), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route");
+    for n in [1024usize, 10240] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ring = Ring::build(n, RingConfig::default(), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let from = ring.random_alive(&mut rng);
+                let key: u64 = rng.gen();
+                let mut ledger = CostLedger::new();
+                black_box(ring.route(from, key, &mut ledger))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_successor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let ring = Ring::build(10240, RingConfig::default(), &mut rng);
+    c.bench_function("successor/10240", |b| {
+        b.iter(|| {
+            let key: u64 = rng.gen();
+            black_box(ring.successor(key))
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_route, bench_successor);
+criterion_main!(benches);

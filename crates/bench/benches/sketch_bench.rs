@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks for the sketch substrate: hashing and
+//! per-item sketch update/estimate throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dhs_sketch::{
+    CardinalityEstimator, HyperLogLog, ItemHasher, Md4Hasher, Pcsa, SplitMix64, SuperLogLog,
+};
+
+fn bench_hashers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("splitmix64_u64", |b| {
+        let h = SplitMix64::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(h.hash_u64(i))
+        });
+    });
+    group.bench_function("md4_u64", |b| {
+        let h = Md4Hasher;
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(h.hash_u64(i))
+        });
+    });
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_insert");
+    group.throughput(Throughput::Elements(1));
+    for m in [64usize, 512, 4096] {
+        group.bench_with_input(BenchmarkId::new("pcsa", m), &m, |b, &m| {
+            let mut s = Pcsa::new(m).unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                s.insert_hash(black_box(i));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("superloglog", m), &m, |b, &m| {
+            let mut s = SuperLogLog::new(m).unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                s.insert_hash(black_box(i));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hyperloglog", m), &m, |b, &m| {
+            let mut s = HyperLogLog::new(m).unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                s.insert_hash(black_box(i));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_estimate");
+    let hasher = SplitMix64::default();
+    for m in [512usize] {
+        let mut pcsa = Pcsa::new(m).unwrap();
+        let mut sll = SuperLogLog::new(m).unwrap();
+        let mut hll = HyperLogLog::new(m).unwrap();
+        for i in 0..200_000u64 {
+            let h = hasher.hash_u64(i);
+            pcsa.insert_hash(h);
+            sll.insert_hash(h);
+            hll.insert_hash(h);
+        }
+        group.bench_function(BenchmarkId::new("pcsa", m), |b| {
+            b.iter(|| black_box(pcsa.estimate()))
+        });
+        group.bench_function(BenchmarkId::new("superloglog", m), |b| {
+            b.iter(|| black_box(sll.estimate()))
+        });
+        group.bench_function(BenchmarkId::new("hyperloglog", m), |b| {
+            b.iter(|| black_box(hll.estimate()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let hasher = SplitMix64::default();
+    let mut a = SuperLogLog::new(1024).unwrap();
+    let mut b_sketch = SuperLogLog::new(1024).unwrap();
+    for i in 0..100_000u64 {
+        a.insert_hash(hasher.hash_u64(i));
+        b_sketch.insert_hash(hasher.hash_u64(i + 50_000));
+    }
+    c.bench_function("sketch_merge/superloglog_1024", |bench| {
+        bench.iter(|| {
+            let mut x = a.clone();
+            x.merge(black_box(&b_sketch)).unwrap();
+            black_box(x)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hashers,
+    bench_insert,
+    bench_estimate,
+    bench_merge
+);
+criterion_main!(benches);

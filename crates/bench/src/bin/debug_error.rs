@@ -1,0 +1,109 @@
+//! Diagnostic: decompose the DHS estimation error into (a) the sketch's
+//! own error, (b) distribution error with exhaustive probing, (c) retry
+//! (lim) error. Not part of the experiment suite.
+
+use dhs_bench::env::{bulk_insert_relation, item_hasher, ExpConfig};
+use dhs_core::{Dhs, DhsConfig, EstimatorKind};
+use dhs_dht::cost::CostLedger;
+use dhs_sketch::{CardinalityEstimator, ItemHasher};
+use dhs_workload::relation::{Relation, RelationSpec};
+
+fn main() {
+    let exp = ExpConfig::default();
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    let m: usize = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512);
+    let mut rng = exp.rng(1);
+    let spec = RelationSpec {
+        name: "Q",
+        paper_tuples: n,
+        domain: 10_000,
+        theta: 0.7,
+    };
+    let rel = Relation::generate(&spec, 1.0, 1, &mut rng);
+    let hasher = item_hasher();
+
+    for estimator in [EstimatorKind::SuperLogLog, EstimatorKind::Pcsa] {
+        let cfg = DhsConfig {
+            m,
+            k: exp.k,
+            estimator,
+            ..DhsConfig::default()
+        };
+        let dhs = Dhs::new(cfg).unwrap();
+        let mut ring = exp.build_ring(&mut rng);
+        let mut ledger = CostLedger::new();
+        bulk_insert_relation(&dhs, &mut ring, &rel, 1, &hasher, &mut rng, &mut ledger);
+
+        // (a) local sketch from the same classify() stream.
+        let local_est = match estimator {
+            EstimatorKind::HyperLogLog => unreachable!("not exercised here"),
+            EstimatorKind::SuperLogLog => {
+                let mut s = dhs_sketch::SuperLogLog::new(m).unwrap();
+                for t in &rel.tuples {
+                    let (v, r) = dhs.classify(hasher.hash_u64(t.id));
+                    s.observe(v as usize, r as u8 + 1);
+                }
+                s.estimate()
+            }
+            EstimatorKind::Pcsa => {
+                let mut s = dhs_sketch::Pcsa::with_width(m, 64).unwrap();
+                for t in &rel.tuples {
+                    let (v, r) = dhs.classify(hasher.hash_u64(t.id));
+                    s.set_bit(v as usize, r);
+                }
+                s.estimate()
+            }
+        };
+        // Also the full-64-bit-hash local sketch (no k-bit truncation).
+        let full_est = match estimator {
+            EstimatorKind::HyperLogLog => unreachable!("not exercised here"),
+            EstimatorKind::SuperLogLog => {
+                let mut s = dhs_sketch::SuperLogLog::new(m).unwrap();
+                for t in &rel.tuples {
+                    s.insert_hash(hasher.hash_u64(t.id));
+                }
+                s.estimate()
+            }
+            EstimatorKind::Pcsa => {
+                let mut s = dhs_sketch::Pcsa::new(m).unwrap();
+                for t in &rel.tuples {
+                    s.insert_hash(hasher.hash_u64(t.id));
+                }
+                s.estimate()
+            }
+        };
+
+        // (b) exhaustive probing.
+        let exhaustive = {
+            let dhs = Dhs::new(DhsConfig {
+                lim: exp.nodes as u32,
+                ..cfg
+            })
+            .unwrap();
+            let origin = ring.alive_ids()[0];
+            dhs.count(&ring, 1, origin, &mut rng, &mut CostLedger::new())
+                .estimate
+        };
+        // (c) lim = 5.
+        let lim5 = {
+            let origin = ring.alive_ids()[0];
+            dhs.count(&ring, 1, origin, &mut rng, &mut CostLedger::new())
+                .estimate
+        };
+
+        let err = |e: f64| (e - n as f64) / n as f64 * 100.0;
+        println!(
+            "{estimator}: full-hash {:.1}% | k-bit local {:.1}% | exhaustive {:.1}% | lim5 {:.1}%",
+            err(full_est),
+            err(local_est),
+            err(exhaustive),
+            err(lim5)
+        );
+    }
+}

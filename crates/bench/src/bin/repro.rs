@@ -1,0 +1,122 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment|all> [--scale F] [--nodes N] [--seed S] [--trials T]
+//!       [--m M] [--k K] [--quick]
+//! ```
+//!
+//! Experiments: insertion, table2, scalability, accuracy, table3,
+//! hist-accuracy, queryopt, ablation-lim, ablation-failures,
+//! ablation-bitshift, ablation-ttl, baselines, all.
+
+use std::env;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dhs_bench::experiments;
+use dhs_bench::ExpConfig;
+
+type Experiment = (&'static str, fn(&ExpConfig) -> String);
+
+const EXPERIMENTS: &[Experiment] = &[
+    ("insertion", experiments::insertion),
+    ("table2", experiments::table2),
+    ("scalability", experiments::scalability),
+    ("accuracy", experiments::accuracy),
+    ("table3", experiments::table3),
+    ("hist-accuracy", experiments::hist_accuracy),
+    ("queryopt", experiments::queryopt),
+    ("ablation-lim", experiments::ablation_lim),
+    ("ablation-failures", experiments::ablation_failures),
+    ("ablation-bitshift", experiments::ablation_bitshift),
+    ("ablation-ttl", experiments::ablation_ttl),
+    ("ablation-churn", experiments::ablation_churn),
+    ("ablation-dynamics", experiments::ablation_dynamics),
+    ("baselines", experiments::baselines),
+    ("geometry", experiments::geometry),
+];
+
+fn usage() -> String {
+    let names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
+    format!(
+        "usage: repro <experiment|all> [--scale F] [--nodes N] [--seed S] \
+         [--trials T] [--m M] [--k K] [--quick]\nexperiments: {}",
+        names.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let which = args[0].clone();
+    let mut exp = ExpConfig::default();
+    let mut quick = false;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let next = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match flag {
+            "--quick" => quick = true,
+            "--scale" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => exp.scale = v,
+                None => return fail("--scale needs a float"),
+            },
+            "--nodes" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => exp.nodes = v,
+                None => return fail("--nodes needs an integer"),
+            },
+            "--seed" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => exp.seed = v,
+                None => return fail("--seed needs an integer"),
+            },
+            "--trials" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => exp.trials = v,
+                None => return fail("--trials needs an integer"),
+            },
+            "--m" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => exp.m = v,
+                None => return fail("--m needs an integer"),
+            },
+            "--k" => match next(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => exp.k = v,
+                None => return fail("--k needs an integer"),
+            },
+            other => return fail(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if quick {
+        exp = exp.quick();
+    }
+
+    let selected: Vec<&Experiment> = if which == "all" {
+        EXPERIMENTS.iter().collect()
+    } else {
+        match EXPERIMENTS.iter().find(|(n, _)| *n == which) {
+            Some(e) => vec![e],
+            None => {
+                eprintln!("unknown experiment '{which}'\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    for (name, run) in selected {
+        let start = Instant::now();
+        println!("=== {name} ===");
+        println!("{}", run(&exp));
+        println!("[{name} took {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}\n{}", usage());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,252 @@
+//! Shared experiment environment: configuration, ring construction and
+//! DHS population helpers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dhs_core::{Dhs, DhsConfig, MetricId};
+use dhs_dht::cost::CostLedger;
+use dhs_dht::ring::{Ring, RingConfig};
+use dhs_sketch::{ItemHasher, SplitMix64};
+use dhs_workload::relation::{generate_paper_relations, Relation};
+
+/// Common experiment knobs (CLI-overridable).
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Overlay size (paper default 1024).
+    pub nodes: usize,
+    /// Relation scale factor (1.0 = paper's 10/20/40/80M tuples). The
+    /// default 0.1 keeps the evaluation in the same dense regime
+    /// (`n ≥ m·N`) as the paper at 1/10 the tuples.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Counting trials per configuration.
+    pub trials: usize,
+    /// Default bitmap count (paper default 512).
+    pub m: usize,
+    /// DHS key bits. The paper's §5.1 says 24, but its own eq. 3 requires
+    /// `log2(m) + ⌈log2(n_max/m) + 3⌉ ≈ 27–30` bits at its relation sizes
+    /// — with k = 24 the sketch registers saturate and under-estimate by
+    /// 10–30% (we verified this directly). We default to 28, which
+    /// satisfies eq. 3 at the default scale; use `--k 30` for scale 1.0.
+    pub k: u32,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            nodes: 1024,
+            scale: 0.1,
+            seed: 42,
+            trials: 10,
+            m: 512,
+            k: 28,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// A smaller, faster variant for `--quick` runs and CI.
+    pub fn quick(self) -> Self {
+        ExpConfig {
+            scale: self.scale.min(0.02),
+            trials: self.trials.min(5),
+            ..self
+        }
+    }
+
+    /// Deterministic RNG derived from the master seed and a label.
+    pub fn rng(&self, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Build the overlay.
+    pub fn build_ring(&self, rng: &mut impl Rng) -> Ring {
+        Ring::build(self.nodes, RingConfig::default(), rng)
+    }
+
+    /// A paper-default DHS config with this experiment's `m`/`k`.
+    pub fn dhs_config(&self) -> DhsConfig {
+        DhsConfig {
+            k: self.k,
+            m: self.m,
+            ..DhsConfig::default()
+        }
+    }
+}
+
+/// A populated system: ring + ground truths for the four paper relations.
+pub struct Populated {
+    /// The overlay holding the DHS tuples.
+    pub ring: Ring,
+    /// Exact distinct-tuple count per relation (= relation size; tuple
+    /// ids are unique).
+    pub actual: Vec<u64>,
+    /// Relation names, parallel to `actual`.
+    pub names: Vec<&'static str>,
+    /// Total insertion cost.
+    pub insert_ledger: CostLedger,
+}
+
+/// Metric id of relation `i` in [`populate_relations`].
+pub fn relation_metric(i: usize) -> MetricId {
+    1 + i as MetricId
+}
+
+/// The item hasher all experiments share.
+pub fn item_hasher() -> SplitMix64 {
+    SplitMix64::default()
+}
+
+/// Generate the four paper relations at `exp.scale` and record each into
+/// its own DHS metric, node by node via bulk insertion (each tuple is
+/// first assigned to a uniformly random node, which then bulk-inserts its
+/// local batch — §3.2's grouped update round).
+pub fn populate_relations(dhs: &Dhs, exp: &ExpConfig, rng: &mut StdRng) -> Populated {
+    let mut ring = exp.build_ring(rng);
+    let relations = generate_paper_relations(exp.scale, rng);
+    let mut ledger = CostLedger::new();
+    let hasher = item_hasher();
+    let mut actual = Vec::new();
+    let mut names = Vec::new();
+    for (i, rel) in relations.iter().enumerate() {
+        bulk_insert_relation(
+            dhs,
+            &mut ring,
+            rel,
+            relation_metric(i),
+            &hasher,
+            rng,
+            &mut ledger,
+        );
+        actual.push(rel.len() as u64);
+        names.push(rel.spec.name);
+    }
+    Populated {
+        ring,
+        actual,
+        names,
+        insert_ledger: ledger,
+    }
+}
+
+/// Assign `rel`'s tuples to random nodes and bulk-insert each node's
+/// batch under `metric`.
+pub fn bulk_insert_relation(
+    dhs: &Dhs,
+    ring: &mut Ring,
+    rel: &Relation,
+    metric: MetricId,
+    hasher: &impl ItemHasher,
+    rng: &mut impl Rng,
+    ledger: &mut CostLedger,
+) {
+    let node_count = ring.len_alive();
+    let ids: Vec<u64> = ring.alive_ids().to_vec();
+    let mut batches: Vec<Vec<u64>> = vec![Vec::new(); node_count];
+    for t in &rel.tuples {
+        let owner = rng.gen_range(0..node_count);
+        batches[owner].push(hasher.hash_u64(t.id));
+    }
+    for (owner, batch) in batches.into_iter().enumerate() {
+        if batch.is_empty() {
+            continue;
+        }
+        dhs.bulk_insert(ring, metric, &batch, ids[owner], rng, ledger);
+    }
+}
+
+/// Assign `rel`'s tuples to random nodes and bulk-insert each node's
+/// batch into its histogram-bucket metric (the bulk variant of
+/// `DhsHistogram::build`, for experiment-scale population).
+pub fn bulk_insert_histogram(
+    dhs: &Dhs,
+    ring: &mut Ring,
+    rel: &Relation,
+    spec: dhs_histogram::BucketSpec,
+    hasher: &impl ItemHasher,
+    rng: &mut impl Rng,
+    ledger: &mut CostLedger,
+) {
+    use std::collections::HashMap;
+    let node_count = ring.len_alive();
+    let ids: Vec<u64> = ring.alive_ids().to_vec();
+    // (node index, metric) → batch of item keys.
+    let mut batches: HashMap<(usize, MetricId), Vec<u64>> = HashMap::new();
+    for t in &rel.tuples {
+        let Some(bucket) = spec.bucket_of(t.value) else {
+            continue;
+        };
+        let owner = rng.gen_range(0..node_count);
+        batches
+            .entry((owner, spec.metric_of(bucket)))
+            .or_default()
+            .push(hasher.hash_u64(t.id));
+    }
+    let mut keys: Vec<(usize, MetricId)> = batches.keys().copied().collect();
+    keys.sort_unstable(); // deterministic insertion order
+    for key in keys {
+        let batch = &batches[&key];
+        dhs.bulk_insert(ring, key.1, batch, ids[key.0], rng, ledger);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhs_core::EstimatorKind;
+
+    #[test]
+    fn populate_is_deterministic_and_counts_match() {
+        let exp = ExpConfig {
+            nodes: 64,
+            scale: 0.0002,
+            m: 16,
+            trials: 1,
+            ..ExpConfig::default()
+        };
+        let dhs = Dhs::new(DhsConfig {
+            m: 16,
+            k: 20,
+            ..DhsConfig::default()
+        })
+        .unwrap();
+        let p1 = populate_relations(&dhs, &exp, &mut exp.rng(1));
+        let p2 = populate_relations(&dhs, &exp, &mut exp.rng(1));
+        assert_eq!(p1.actual, p2.actual);
+        assert_eq!(p1.actual, vec![2_000, 4_000, 8_000, 16_000]);
+        assert_eq!(p1.names, vec!["Q", "R", "S", "T"]);
+        assert_eq!(p1.insert_ledger.hops(), p2.insert_ledger.hops());
+    }
+
+    #[test]
+    fn populated_system_is_countable() {
+        let exp = ExpConfig {
+            nodes: 64,
+            scale: 0.001,
+            m: 16,
+            ..ExpConfig::default()
+        };
+        let dhs = Dhs::new(DhsConfig {
+            m: 16,
+            k: 20,
+            estimator: EstimatorKind::SuperLogLog,
+            ..DhsConfig::default()
+        })
+        .unwrap();
+        let mut rng = exp.rng(2);
+        let p = populate_relations(&dhs, &exp, &mut rng);
+        let origin = p.ring.alive_ids()[0];
+        // Count the largest relation (densest): 80k items over 64 nodes.
+        let result = p.ring.len_alive();
+        assert_eq!(result, 64);
+        let mut ledger = CostLedger::new();
+        let est = dhs
+            .count(&p.ring, relation_metric(3), origin, &mut rng, &mut ledger)
+            .estimate;
+        let actual = p.actual[3] as f64;
+        let err = (est - actual).abs() / actual;
+        assert!(err < 0.6, "est {est} vs {actual}");
+    }
+}

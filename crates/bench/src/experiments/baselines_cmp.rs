@@ -1,0 +1,242 @@
+//! B1 — the related-work comparison, quantifying §1's taxonomy.
+//!
+//! One duplicated multiset (every item exists on 3 nodes), one question
+//! ("how many distinct items?"), seven protocols. Columns map to the
+//! paper's six constraints: error → accuracy/duplicate-insensitivity,
+//! query hops/bytes → efficiency, max visits & gini → load balance,
+//! update messages → scalability of maintenance.
+
+use dhs_baselines::assignment::ItemAssignment;
+use dhs_baselines::{gossip, partitioned, sampling, single_node, tree};
+use dhs_core::{Dhs, DhsConfig, EstimatorKind};
+use dhs_dht::cost::CostLedger;
+use dhs_sketch::ItemHasher;
+use dhs_workload::multiset::DuplicatedMultiset;
+
+use crate::env::{item_hasher, ExpConfig};
+use crate::table::{f, pct, Table};
+
+/// Run B1: all protocols against one duplicated multiset.
+pub fn baselines(exp: &ExpConfig) -> String {
+    let mut rng = exp.rng(0xB1);
+    let ring = exp.build_ring(&mut rng);
+    // 200k distinct items, 3 copies each, shuffled over the nodes.
+    let distinct = (200_000.0 * (exp.scale / 0.1).max(0.01)) as u64;
+    let ms = DuplicatedMultiset::uniform_copies(distinct, 3, &mut rng);
+    let assignment = ItemAssignment::uniform(&ring, &ms.items, &mut rng);
+    let actual = assignment.distinct_items() as f64;
+    let hasher = item_hasher();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "B1 baseline comparison — {} nodes, {} distinct items x3 copies\n\n",
+        exp.nodes, distinct
+    ));
+    let mut table = Table::new(&[
+        "protocol",
+        "estimate",
+        "err",
+        "query hops",
+        "query kB",
+        "update msgs",
+        "max visits",
+        "gini",
+        "dup-safe",
+    ]);
+
+    // DHS (both estimators): updates = every node bulk-inserts its items.
+    let m = exp.m.min(256);
+    for estimator in [EstimatorKind::SuperLogLog, EstimatorKind::Pcsa] {
+        let dhs = Dhs::new(DhsConfig {
+            m,
+            estimator,
+            ..exp.dhs_config()
+        })
+        .expect("valid config");
+        let mut ring = ring.clone();
+        let mut update_ledger = CostLedger::new();
+        for &node in ring.alive_ids().to_vec().iter() {
+            let keys: Vec<u64> = assignment
+                .items_of(node)
+                .iter()
+                .map(|&i| hasher.hash_u64(i))
+                .collect();
+            if !keys.is_empty() {
+                dhs.bulk_insert(&mut ring, 1, &keys, node, &mut rng, &mut update_ledger);
+            }
+        }
+        let mut query_ledger = CostLedger::new();
+        let origin = ring.random_alive(&mut rng);
+        let result = dhs.count(&ring, 1, origin, &mut rng, &mut query_ledger);
+        let mut combined = update_ledger.clone();
+        combined.absorb(&query_ledger);
+        let load = combined.load_summary();
+        table.row(vec![
+            format!("DHS-{estimator}"),
+            f(result.estimate, 0),
+            pct((result.estimate - actual).abs() / actual),
+            query_ledger.hops().to_string(),
+            f(query_ledger.bytes() as f64 / 1024.0, 1),
+            update_ledger.messages().to_string(),
+            load.max.to_string(),
+            f(load.gini, 2),
+            "yes".into(),
+        ]);
+    }
+
+    // One-node-per-counter (naive + exact-set).
+    for (label, mode, safe) in [
+        ("single-node sum", single_node::CounterMode::NaiveSum, "no"),
+        (
+            "single-node set",
+            single_node::CounterMode::ExactSet,
+            "yes*",
+        ),
+    ] {
+        let mut ledger = CostLedger::new();
+        let outc = single_node::run(&ring, &assignment, 1, mode, &mut ledger);
+        let load = ledger.load_summary();
+        table.row(vec![
+            label.into(),
+            f(outc.estimate, 0),
+            pct((outc.estimate - actual).abs() / actual),
+            "~5".into(), // one lookup
+            "0.1".into(),
+            (ledger.messages() - 1).to_string(),
+            load.max.to_string(),
+            f(load.gini, 2),
+            safe.into(),
+        ]);
+    }
+
+    // Hash-partitioned counters (P = 16).
+    {
+        let mut ledger = CostLedger::new();
+        let outc = partitioned::run(&ring, &assignment, 1, 16, &mut ledger);
+        let load = ledger.load_summary();
+        table.row(vec![
+            "partitioned P=16".into(),
+            f(outc.estimate, 0),
+            pct((outc.estimate - actual).abs() / actual),
+            outc.query_hops.to_string(),
+            "0.3".into(),
+            (ledger.messages() - 16).to_string(),
+            load.max.to_string(),
+            f(load.gini, 2),
+            "yes*".into(),
+        ]);
+    }
+
+    // Gossip: push-sum and sketch gossip.
+    {
+        let mut ledger = CostLedger::new();
+        let trace = gossip::push_sum(&ring, &assignment, 20, &mut rng, &mut ledger);
+        let est = *trace.estimates_per_round.last().unwrap();
+        let load = ledger.load_summary();
+        table.row(vec![
+            "gossip push-sum".into(),
+            f(est, 0),
+            pct((est - actual).abs() / actual),
+            ledger.hops().to_string(),
+            f(trace.bytes as f64 / 1024.0, 1),
+            "0".into(),
+            load.max.to_string(),
+            f(load.gini, 2),
+            "no".into(),
+        ]);
+    }
+    {
+        let mut ledger = CostLedger::new();
+        let trace = gossip::sketch_gossip(&ring, &assignment, m, 12, &mut rng, &mut ledger);
+        let est = *trace.estimates_per_round.last().unwrap();
+        let load = ledger.load_summary();
+        table.row(vec![
+            "gossip sketches".into(),
+            f(est, 0),
+            pct((est - actual).abs() / actual),
+            ledger.hops().to_string(),
+            f(trace.bytes as f64 / 1024.0, 1),
+            "0".into(),
+            load.max.to_string(),
+            f(load.gini, 2),
+            "yes".into(),
+        ]);
+    }
+
+    // Tree aggregation.
+    {
+        let mut ledger = CostLedger::new();
+        let root = ring.random_alive(&mut rng);
+        let outc = tree::aggregate(&ring, &assignment, root, m, 16, &mut rng, &mut ledger);
+        let load = ledger.load_summary();
+        table.row(vec![
+            "tree convergecast".into(),
+            f(outc.estimate, 0),
+            pct((outc.estimate - actual).abs() / actual),
+            ledger.hops().to_string(),
+            f(ledger.bytes() as f64 / 1024.0, 1),
+            "0".into(),
+            load.max.to_string(),
+            f(load.gini, 2),
+            "yes".into(),
+        ]);
+    }
+
+    // Sampling at two budgets.
+    for s in [32usize, 256] {
+        let mut ledger = CostLedger::new();
+        let origin = ring.random_alive(&mut rng);
+        let outc = sampling::estimate_total(&ring, &assignment, origin, s, &mut rng, &mut ledger);
+        let load = ledger.load_summary();
+        table.row(vec![
+            format!("sampling s={s}"),
+            f(outc.estimate, 0),
+            pct((outc.estimate - actual).abs() / actual),
+            ledger.hops().to_string(),
+            f(ledger.bytes() as f64 / 1024.0, 1),
+            "0".into(),
+            load.max.to_string(),
+            f(load.gini, 2),
+            "no".into(),
+        ]);
+    }
+
+    out.push_str(&table.render());
+    out.push_str(&format!("\nactual distinct items: {actual}\n"));
+    out.push_str(
+        "notes: 'update msgs' is the one-time cost of making the structure queryable\n\
+         (gossip/tree/sampling query local state directly but pay per query instead);\n\
+         single-node set is duplicate-safe only by storing every item id on one node.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_report_lists_all_protocols() {
+        let exp = ExpConfig {
+            nodes: 64,
+            scale: 0.01,
+            m: 64,
+            k: 20,
+            trials: 1,
+            ..ExpConfig::default()
+        };
+        let report = baselines(&exp);
+        for proto in [
+            "DHS-sLL",
+            "DHS-PCSA",
+            "single-node sum",
+            "single-node set",
+            "gossip push-sum",
+            "gossip sketches",
+            "tree convergecast",
+            "sampling s=32",
+        ] {
+            assert!(report.contains(proto), "missing {proto}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! The experiments, one module per paper artifact (see crate docs).
+
+mod ablations;
+mod accuracy;
+mod baselines_cmp;
+mod geometry;
+mod hist;
+mod insertion_costs;
+mod queryopt;
+mod scalability_exp;
+mod table2_exp;
+
+pub use ablations::{
+    ablation_bitshift, ablation_churn, ablation_dynamics, ablation_failures, ablation_lim,
+    ablation_ttl,
+};
+pub use accuracy::accuracy;
+pub use baselines_cmp::baselines;
+pub use geometry::geometry;
+pub use hist::{hist_accuracy, table3};
+pub use insertion_costs::insertion;
+pub use queryopt::queryopt;
+pub use scalability_exp::scalability;
+pub use table2_exp::table2;

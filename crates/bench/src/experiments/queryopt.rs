@@ -1,0 +1,226 @@
+//! E7 — §5.2 "Histograms and Query Processing".
+//!
+//! The paper's case study cites FREddies/PIER ([17]): 256 nodes, four
+//! relations of 256 000 tuples each (100 per node); for a three-way join
+//! the optimal strategy ships 47 MB vs 71 MB for FREddies — while
+//! reconstructing the DHS histograms that *find* the optimal plan costs
+//! ~1 MB. FREddies itself is unavailable, so (per DESIGN.md) we rebuild
+//! the setting with our own shipped-bytes hash-join cost model and
+//! compare the histogram-informed optimal plan against the naive
+//! (query-order) and worst plans.
+
+use dhs_core::{Dhs, DhsConfig, EstimatorKind};
+use dhs_dht::cost::CostLedger;
+use dhs_histogram::executor::DistributedRelation;
+use dhs_histogram::optimizer::Optimizer;
+use dhs_histogram::query::{exact_join_frequencies, JoinQuery};
+use dhs_histogram::{BucketSpec, DhsHistogram, ExactHistogram};
+use dhs_workload::relation::{Relation, RelationSpec};
+
+use crate::env::{bulk_insert_histogram, item_hasher, ExpConfig};
+use crate::table::{f, Table};
+
+const TUPLE_BYTES: u64 = 1024; // the paper's 1 kB tuples
+const DOMAIN: usize = 10_000;
+const BUCKETS: u32 = 100;
+
+/// The four-relation catalog: equal sizes (the [17] setting) but
+/// different value skews, so join order genuinely matters.
+fn catalog_specs() -> [RelationSpec; 4] {
+    [
+        RelationSpec {
+            name: "A(uniform)",
+            paper_tuples: 256_000,
+            domain: DOMAIN,
+            theta: 0.0,
+        },
+        RelationSpec {
+            name: "B(z0.7)",
+            paper_tuples: 256_000,
+            domain: DOMAIN,
+            theta: 0.7,
+        },
+        RelationSpec {
+            name: "C(z1.0)",
+            paper_tuples: 256_000,
+            domain: DOMAIN,
+            theta: 1.0,
+        },
+        RelationSpec {
+            name: "D(z1.2)",
+            paper_tuples: 256_000,
+            domain: DOMAIN,
+            theta: 1.2,
+        },
+    ]
+}
+
+/// Exact shipped bytes of a left-deep order, computed from true value
+/// frequencies (the "what actually happens" cost).
+fn exact_cost(order: &[usize], freqs: &[Vec<u64>]) -> f64 {
+    let mut acc = freqs[order[0]].clone();
+    let mut acc_size: f64 = acc.iter().map(|&x| x as f64).sum();
+    let mut cost = 0.0;
+    for &next in &order[1..] {
+        let right_size: f64 = freqs[next].iter().map(|&x| x as f64).sum();
+        cost += (acc_size + right_size) * TUPLE_BYTES as f64;
+        acc = exact_join_frequencies(&acc, &freqs[next]);
+        acc_size = acc.iter().map(|&x| x as f64).sum();
+    }
+    cost
+}
+
+/// Run E7 at the paper's 256-node scale (relation scale from `exp`).
+pub fn queryopt(exp: &ExpConfig) -> String {
+    let mut exp = *exp;
+    exp.nodes = 256;
+    let mut rng = exp.rng(0xE7);
+    let dhs = Dhs::new(DhsConfig {
+        m: exp.m.min(256),
+        estimator: EstimatorKind::SuperLogLog,
+        ..exp.dhs_config()
+    })
+    .expect("valid config");
+    let mut ring = exp.build_ring(&mut rng);
+    let hasher = item_hasher();
+
+    // Materialize the catalog and its DHS histograms.
+    let relations: Vec<Relation> = catalog_specs()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Relation::generate(s, exp.scale, 10 + i as u8, &mut rng))
+        .collect();
+    let mut specs = Vec::new();
+    let mut build_ledger = CostLedger::new();
+    for (i, rel) in relations.iter().enumerate() {
+        let spec = BucketSpec::new(0, (DOMAIN - 1) as u32, BUCKETS, 5000 + 128 * i as u32);
+        bulk_insert_histogram(
+            &dhs,
+            &mut ring,
+            rel,
+            spec,
+            &hasher,
+            &mut rng,
+            &mut build_ledger,
+        );
+        specs.push(spec);
+    }
+
+    // Reconstruct all four histograms (what a query optimizer node does).
+    let origin = ring.alive_ids()[0];
+    let mut reconstruct_ledger = CostLedger::new();
+    let estimated: Vec<Vec<f64>> = specs
+        .iter()
+        .map(|spec| {
+            DhsHistogram::reconstruct(
+                &dhs,
+                &ring,
+                *spec,
+                origin,
+                &mut rng,
+                &mut reconstruct_ledger,
+            )
+            .estimates
+        })
+        .collect();
+    let freqs: Vec<Vec<u64>> = relations.iter().map(Relation::value_frequencies).collect();
+    let exact_hists: Vec<Vec<f64>> = relations
+        .iter()
+        .zip(&specs)
+        .map(|(rel, spec)| ExactHistogram::build(rel, *spec).as_f64())
+        .collect();
+
+    let spec0 = specs[0];
+    let est_opt = Optimizer::new(spec0, estimated, TUPLE_BYTES);
+    let true_opt = Optimizer::new(spec0, exact_hists, TUPLE_BYTES);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E7 query optimization — 256 nodes, 4 relations x {} tuples, 100-bucket histograms\n\n",
+        relations[0].len()
+    ));
+    let mb = |x: f64| x / (1024.0 * 1024.0);
+
+    let mut table = Table::new(&["query", "plan", "order", "est MB", "actual MB"]);
+    for rels in [vec![1usize, 2, 3], vec![0, 1, 2, 3]] {
+        let label = format!("{}-way", rels.len());
+        let query = JoinQuery::chain(rels.clone());
+        let chosen = est_opt.optimize(&query);
+        // "Naive" = no statistics: join in reverse catalog order (most
+        // skewed relations first), as a statistics-free executor might.
+        let naive_order: Vec<usize> = rels.iter().rev().copied().collect();
+        let naive = est_opt.cost_of_order(&naive_order);
+        let worst = true_opt.pessimize(&query);
+        for (name, order) in [
+            ("DHS-optimal", chosen.order.clone()),
+            ("naive", naive.order.clone()),
+            ("worst", worst.order.clone()),
+        ] {
+            table.row(vec![
+                label.clone(),
+                name.to_string(),
+                format!("{order:?}"),
+                f(mb(est_opt.cost_of_order(&order).est_cost_bytes), 1),
+                f(mb(exact_cost(&order, &freqs)), 1),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+
+    // Ground the cost model: actually execute the chosen plan's *first*
+    // join on the overlay (tuples routed, owners join locally) and
+    // compare ledger-measured bytes against the model. (Full chains are
+    // not materializable: three multiplied Zipf heads yield ~10^10 result
+    // tuples — which is exactly why optimizers work with cost models.)
+    {
+        let chosen = est_opt.optimize(&JoinQuery::chain(vec![1, 2, 3]));
+        let (l, r) = (chosen.order[0], chosen.order[1]);
+        let dl = DistributedRelation::scatter(&relations[l], &ring, &mut rng);
+        let dr = DistributedRelation::scatter(&relations[r], &ring, &mut rng);
+        let mut exec_ledger = CostLedger::new();
+        let joined =
+            dhs_histogram::executor::hash_join(&ring, &dl, &dr, TUPLE_BYTES, &mut exec_ledger);
+        let expected_size = dhs_histogram::query::exact_join_size(&freqs[l], &freqs[r]);
+        let model_per_hop = (relations[l].len() + relations[r].len()) as f64 * TUPLE_BYTES as f64;
+        out.push_str(&format!(
+            "\nexecuted first join of the chosen plan ({l} x {r}): {} result tuples \
+             (algebra: {expected_size}),\n{:.1} MB shipped vs model {:.1} MB x ~{:.1} hops = {:.1} MB\n",
+            joined.len(),
+            mb(exec_ledger.bytes() as f64),
+            mb(model_per_hop),
+            0.5 * (256f64).log2(),
+            mb(model_per_hop * 0.5 * (256f64).log2()),
+        ));
+    }
+
+    out.push_str(&format!(
+        "histogram build cost: {:.2} MB total; reconstruction (4 histograms): {:.2} MB, {} hops\n",
+        mb(build_ledger.bytes() as f64),
+        mb(reconstruct_ledger.bytes() as f64),
+        reconstruct_ledger.hops(),
+    ));
+    out.push_str(
+        "paper shape: optimal plan ships far less than naive/worst (47 vs 71 MB in [17]);\n\
+         the ~1 MB histogram reconstruction that finds it is negligible next to the savings.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queryopt_optimal_beats_worst() {
+        let exp = ExpConfig {
+            scale: 0.02, // 5 120 tuples per relation
+            m: 64,
+            trials: 1,
+            ..ExpConfig::default()
+        };
+        let report = queryopt(&exp);
+        assert!(report.contains("DHS-optimal"));
+        assert!(report.contains("3-way"));
+        assert!(report.contains("4-way"));
+    }
+}

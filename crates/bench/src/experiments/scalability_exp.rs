@@ -1,0 +1,102 @@
+//! E3 — §5.2 "Scalability" (the figure the paper omits for space).
+//!
+//! Paper text: average counting hop-count grows from 109/97 (sLL/PCSA)
+//! at 1024 nodes to ~112/103 at 10240 nodes — logarithmic in N.
+
+use dhs_core::{Dhs, DhsConfig, EstimatorKind, Summary};
+use dhs_dht::cost::CostLedger;
+use dhs_workload::relation::{Relation, PAPER_RELATIONS};
+
+use crate::env::{bulk_insert_relation, item_hasher, ExpConfig};
+use crate::table::{f, Table};
+
+/// Run E3: counting hops vs overlay size, for both estimators.
+///
+/// Uses the largest relation (T) only — the regime (items ≥ m·N) is what
+/// matters, not the relation mix.
+pub fn scalability(exp: &ExpConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E3 scalability — counting hops vs overlay size (m = {}, scale {})\n\n",
+        exp.m, exp.scale
+    ));
+    let mut table = Table::new(&[
+        "nodes",
+        "hops sLL",
+        "hops PCSA",
+        "lookup hops/probe walk sLL",
+    ]);
+    for nodes in [1024usize, 2048, 4096, 8192, 10240] {
+        let n_exp = ExpConfig { nodes, ..*exp };
+        let mut rng = n_exp.rng(0xE3 + nodes as u64);
+        let insert_dhs = Dhs::new(n_exp.dhs_config()).expect("valid config");
+        let mut ring = n_exp.build_ring(&mut rng);
+        let rel = Relation::generate(&PAPER_RELATIONS[3], n_exp.scale, 4, &mut rng);
+        let hasher = item_hasher();
+        let mut ledger = CostLedger::new();
+        bulk_insert_relation(
+            &insert_dhs,
+            &mut ring,
+            &rel,
+            1,
+            &hasher,
+            &mut rng,
+            &mut ledger,
+        );
+
+        let mut row = vec![nodes.to_string()];
+        let mut split = String::new();
+        for estimator in [EstimatorKind::SuperLogLog, EstimatorKind::Pcsa] {
+            let dhs = Dhs::new(DhsConfig {
+                estimator,
+                ..n_exp.dhs_config()
+            })
+            .expect("valid config");
+            let mut hops = Summary::new();
+            let mut lookups = Summary::new();
+            let mut probes = Summary::new();
+            for _ in 0..n_exp.trials {
+                let origin = ring.random_alive(&mut rng);
+                let mut ledger = CostLedger::new();
+                let result = dhs.count(&ring, 1, origin, &mut rng, &mut ledger);
+                hops.add(result.stats.hops as f64);
+                lookups.add(result.stats.lookups as f64);
+                probes.add(result.stats.probes as f64);
+            }
+            row.push(f(hops.mean(), 0));
+            if estimator == EstimatorKind::SuperLogLog {
+                split = format!(
+                    "{} lookups / {} probes",
+                    f(lookups.mean(), 0),
+                    f(probes.mean(), 0)
+                );
+            }
+        }
+        row.push(split);
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    out.push_str("\npaper: 109/97 hops @1024 nodes -> ~112/103 @10240 (logarithmic growth)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalability_report_has_five_sizes() {
+        // Tiny smoke configuration: small relation, few trials.
+        let exp = ExpConfig {
+            scale: 0.00005,
+            m: 16,
+            k: 20,
+            trials: 1,
+            ..ExpConfig::default()
+        };
+        let report = scalability(&exp);
+        for n in ["1024", "2048", "4096", "8192", "10240"] {
+            assert!(report.contains(n), "missing size {n}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! E2 — Table 2: "Counting costs (sLL/PCSA)".
+//!
+//! Paper values (1024 nodes, 4 relations of 10–80M tuples, lim = 5):
+//!
+//! ```text
+//! m     nodes visited  hops       BW (kBytes)  error (%)
+//! 128   68 / 65        86 / 69    11.0 / 8.8   5.0 / 5.8
+//! 256   73 / 69        92 / 77    11.8 / 9.6   3.5 / 4.3
+//! 512   81 / 80        120 / 114  15.4 / 15.9  1.8 / 2.7
+//! 1024  96 / 91        139 / 128  17.8 / 16.0  1.1 / 7.5
+//! ```
+//!
+//! (cells are sLL / PCSA).
+
+use dhs_core::{Dhs, DhsConfig, EstimatorKind, Summary};
+use dhs_dht::cost::CostLedger;
+
+use crate::env::{populate_relations, relation_metric, ExpConfig};
+use crate::table::{f, Table};
+
+/// Per-estimator aggregates for one bitmap count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingCosts {
+    /// Mean nodes probed per estimation.
+    pub nodes_visited: f64,
+    /// Mean hops per estimation.
+    pub hops: f64,
+    /// Mean bandwidth per estimation (bytes).
+    pub bytes: f64,
+    /// Mean absolute relative error (over relations × trials).
+    pub error: f64,
+}
+
+/// Measure counting cost and accuracy for one (m, estimator) pair on an
+/// already-populated system.
+pub fn measure_counting(
+    dhs: &Dhs,
+    populated: &crate::env::Populated,
+    exp: &ExpConfig,
+    stream: u64,
+) -> CountingCosts {
+    let mut rng = exp.rng(stream);
+    let mut nodes = Summary::new();
+    let mut hops = Summary::new();
+    let mut bytes = Summary::new();
+    let mut error = Summary::new();
+    for _ in 0..exp.trials {
+        for (i, &actual) in populated.actual.iter().enumerate() {
+            let origin = populated.ring.random_alive(&mut rng);
+            let mut ledger = CostLedger::new();
+            let result = dhs.count(
+                &populated.ring,
+                relation_metric(i),
+                origin,
+                &mut rng,
+                &mut ledger,
+            );
+            nodes.add(result.stats.probes as f64);
+            hops.add(result.stats.hops as f64);
+            bytes.add(result.stats.bytes as f64);
+            error.add(result.relative_error(actual).abs());
+        }
+    }
+    CountingCosts {
+        nodes_visited: nodes.mean(),
+        hops: hops.mean(),
+        bytes: bytes.mean(),
+        error: error.mean(),
+    }
+}
+
+/// Run E2 across `m ∈ {128, 256, 512, 1024}` for both estimators.
+pub fn table2(exp: &ExpConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E2 / Table 2 — counting costs (sLL/PCSA), {} nodes, scale {}, {} trials\n\n",
+        exp.nodes, exp.scale, exp.trials
+    ));
+    let mut table = Table::new(&["m", "nodes visited", "hops", "BW (kB)", "error (%)"]);
+    for m in [128usize, 256, 512, 1024] {
+        let m_exp = ExpConfig { m, ..*exp };
+        // Insertion is estimator-independent: populate once per m.
+        let insert_dhs = Dhs::new(m_exp.dhs_config()).expect("valid config");
+        let populated = populate_relations(&insert_dhs, &m_exp, &mut m_exp.rng(0xE2));
+
+        let mut cells: Vec<CountingCosts> = Vec::new();
+        for estimator in [EstimatorKind::SuperLogLog, EstimatorKind::Pcsa] {
+            let dhs = Dhs::new(DhsConfig {
+                estimator,
+                ..m_exp.dhs_config()
+            })
+            .expect("valid config");
+            cells.push(measure_counting(
+                &dhs,
+                &populated,
+                &m_exp,
+                0xE2_00 + m as u64,
+            ));
+        }
+        let (sll, pcsa) = (cells[0], cells[1]);
+        table.row(vec![
+            m.to_string(),
+            format!("{} / {}", f(sll.nodes_visited, 0), f(pcsa.nodes_visited, 0)),
+            format!("{} / {}", f(sll.hops, 0), f(pcsa.hops, 0)),
+            format!(
+                "{} / {}",
+                f(sll.bytes / 1024.0, 1),
+                f(pcsa.bytes / 1024.0, 1)
+            ),
+            format!("{} / {}", f(sll.error * 100.0, 1), f(pcsa.error * 100.0, 1)),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\npaper (sLL/PCSA): m=512 -> 81/80 nodes, 120/114 hops, 15.4/15.9 kB, 1.8/2.7 %\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::populate_relations;
+
+    #[test]
+    fn measure_counting_produces_sane_aggregates() {
+        let exp = ExpConfig {
+            nodes: 64,
+            scale: 0.001,
+            m: 32,
+            k: 20,
+            trials: 2,
+            ..ExpConfig::default()
+        };
+        let dhs = Dhs::new(exp.dhs_config()).unwrap();
+        let populated = populate_relations(&dhs, &exp, &mut exp.rng(7));
+        let costs = measure_counting(&dhs, &populated, &exp, 1);
+        assert!(costs.nodes_visited >= 1.0);
+        assert!(costs.hops >= 1.0);
+        assert!(costs.bytes > 0.0);
+        assert!(costs.error < 1.0, "error {}", costs.error);
+    }
+}

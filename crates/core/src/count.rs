@@ -1,0 +1,679 @@
+//! DHS counting — the paper's Algorithm 1 (§4).
+//!
+//! Estimating a cardinality means recovering, for every bitmap vector,
+//! either its highest set bit (super-LogLog) or its lowest unset bit
+//! (PCSA), by visiting the ID-space interval of each bit position:
+//!
+//! 1. pick a uniformly random key in the interval and do one DHT lookup
+//!    to its owner;
+//! 2. probe the owner for tuples of the bit position (for *all* vectors
+//!    and *all* requested metrics at once — this is why the hop cost is
+//!    independent of both, §4.2);
+//! 3. if unresolved vectors remain, walk up to `lim − 1` further nodes:
+//!    first successors while they stay inside the interval, then
+//!    predecessors of the original target (§4, Alg. 1 lines 13–15);
+//! 4. move to the next bit position — downward for super-LogLog (the
+//!    first hit *is* the max), upward for PCSA (the first interval where
+//!    a vector's bit cannot be found concludes its lowest zero).
+//!
+//! A vector whose bit is present in the interval but missed by all `lim`
+//! probes is mis-concluded — that is the distributed-operation error the
+//! paper bounds in §4.1 (see [`crate::retry`]).
+
+use rand::Rng;
+
+use dhs_dht::cost::CostLedger;
+use dhs_dht::overlay::Overlay;
+use dhs_sketch::{
+    hyperloglog_estimate_from_registers, pcsa_estimate_from_first_zeros,
+    superloglog_estimate_from_registers,
+};
+
+use crate::config::EstimatorKind;
+use crate::insert::Dhs;
+use crate::intervals::{interval_for_rank, IdInterval};
+use crate::stats::{CountResult, CountStats};
+use crate::tuple::{DhsTuple, MetricId};
+
+/// The Alg. 1 walk order inside one interval: successors while they stay
+/// in the interval, then predecessors of the original target.
+struct IntervalWalk<'r, O: Overlay> {
+    ring: &'r O,
+    interval: IdInterval,
+    first: u64,
+    cur: u64,
+    going_succ: bool,
+}
+
+impl<'r, O: Overlay> IntervalWalk<'r, O> {
+    fn new(ring: &'r O, interval: IdInterval, first: u64) -> Self {
+        IntervalWalk {
+            ring,
+            interval,
+            first,
+            cur: first,
+            going_succ: true,
+        }
+    }
+
+    /// The next node to probe (one hop away from the current one).
+    ///
+    /// Successor direction first (Alg. 1 line 13, `id < thr(r−1)`): we
+    /// keep stepping while the *current* node is still inside the
+    /// interval, which deliberately probes one node **past** the
+    /// interval's top boundary — in Chord that successor owns the
+    /// interval's topmost keys, so tuples stored under them live there.
+    /// (In sparse intervals, which decide the estimate, that boundary
+    /// owner holds everything.) Then predecessors of the original target.
+    fn next_target(&mut self) -> u64 {
+        if self.going_succ {
+            if self.interval.contains(self.cur) {
+                let next = self.ring.next_node(self.cur);
+                if next != self.first {
+                    self.cur = next;
+                    return next;
+                }
+            }
+            // Walked out of the interval (or wrapped): restart from the
+            // original target, walking predecessors.
+            self.going_succ = false;
+            self.cur = self.first;
+        }
+        self.cur = self.ring.prev_node(self.cur);
+        self.cur
+    }
+}
+
+/// Per-interval probe bookkeeping shared by both scan directions.
+struct Prober<'a, O: Overlay, R: Rng> {
+    dhs: &'a Dhs,
+    ring: &'a O,
+    origin: u64,
+    metrics: &'a [MetricId],
+    rng: &'a mut R,
+}
+
+impl<'a, O: Overlay, R: Rng> Prober<'a, O, R> {
+    /// Look up a random key in `rank`'s interval and return the walk plus
+    /// the initial target, charging lookup costs.
+    fn open_interval(
+        &mut self,
+        rank: u32,
+        ledger: &mut CostLedger,
+        stats: &mut CountStats,
+    ) -> (IntervalWalk<'a, O>, u64) {
+        let interval = interval_for_rank(self.dhs.config(), rank);
+        let key = self.rng.gen_range(interval.lo..=interval.hi);
+        let hops_before = ledger.hops();
+        let target = self.ring.route(self.origin, key, ledger);
+        let lookup_hops = ledger.hops() - hops_before;
+        stats.lookups += 1;
+        ledger.charge_message(0);
+        ledger.charge_bytes(u64::from(self.dhs.config().request_bytes) * lookup_hops);
+        stats.intervals_scanned += 1;
+        (IntervalWalk::new(self.ring, interval, target), target)
+    }
+
+    /// Probe `target` for bit `rank`, invoking `on_hit(metric_idx,
+    /// vector)` for every requested tuple present. Charges probe costs.
+    fn probe(
+        &self,
+        target: u64,
+        rank: u32,
+        ledger: &mut CostLedger,
+        stats: &mut CountStats,
+        mut on_hit: impl FnMut(usize, usize),
+    ) {
+        stats.probes += 1;
+        ledger.record_visit(target);
+        ledger.charge_message(0);
+        ledger.charge_bytes(
+            u64::from(self.dhs.config().request_bytes)
+                + self.dhs.config().response_bytes(self.metrics.len()),
+        );
+        for (mi, &metric) in self.metrics.iter().enumerate() {
+            for vector in 0..self.dhs.config().m {
+                let tuple = DhsTuple {
+                    metric,
+                    vector: vector as u16,
+                    bit: rank as u8,
+                };
+                if self.ring.fetch_at(target, tuple.app_key()).is_some() {
+                    on_hit(mi, vector);
+                }
+            }
+        }
+    }
+}
+
+impl Dhs {
+    /// Estimate the cardinality of a single metric from node `origin`.
+    pub fn count<O: Overlay>(
+        &self,
+        ring: &O,
+        metric: MetricId,
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> CountResult {
+        self.count_multi(ring, &[metric], origin, rng, ledger)
+            .pop()
+            .expect("one metric in, one result out")
+    }
+
+    /// Estimate several metrics in one scan (multi-dimensional counting,
+    /// §4.2). The scan's cost is shared: every returned result carries the
+    /// same operation-total [`CountStats`].
+    pub fn count_multi<O: Overlay>(
+        &self,
+        ring: &O,
+        metrics: &[MetricId],
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> Vec<CountResult> {
+        assert!(!metrics.is_empty(), "count_multi needs at least one metric");
+        match self.config().estimator {
+            // HyperLogLog shares super-LogLog's storage and top-down scan;
+            // only the register→estimate formula differs.
+            EstimatorKind::SuperLogLog | EstimatorKind::HyperLogLog => {
+                self.count_max_rank(ring, metrics, origin, rng, ledger)
+            }
+            EstimatorKind::Pcsa => self.count_pcsa(ring, metrics, origin, rng, ledger),
+        }
+    }
+
+    /// DHS-sLL / DHS-HLL: scan bit positions from most to least
+    /// significant; the first interval where a vector's bit is found is
+    /// its max rank.
+    fn count_max_rank<O: Overlay>(
+        &self,
+        ring: &O,
+        metrics: &[MetricId],
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> Vec<CountResult> {
+        let cfg = *self.config();
+        let m = cfg.m;
+        let mut regs: Vec<Vec<Option<u8>>> = vec![vec![None; m]; metrics.len()];
+        let mut unresolved = metrics.len() * m;
+        let mut stats = CountStats::default();
+        let bytes_before = ledger.bytes();
+        let hops_before = ledger.hops();
+
+        let mut prober = Prober {
+            dhs: self,
+            ring,
+            origin,
+            metrics,
+            rng,
+        };
+        for rank in (cfg.bit_shift..cfg.scan_bits()).rev() {
+            if unresolved == 0 {
+                break;
+            }
+            let (mut walk, mut target) = prober.open_interval(rank, ledger, &mut stats);
+            for attempt in 0..cfg.lim {
+                if attempt > 0 {
+                    target = walk.next_target();
+                    ledger.charge_hops(1);
+                }
+                prober.probe(target, rank, ledger, &mut stats, |mi, vector| {
+                    if regs[mi][vector].is_none() {
+                        regs[mi][vector] = Some(rank as u8 + 1);
+                        unresolved -= 1;
+                    }
+                });
+                if unresolved == 0 {
+                    break;
+                }
+            }
+        }
+
+        stats.bytes = ledger.bytes() - bytes_before;
+        stats.hops = ledger.hops() - hops_before;
+        // Vectors never seen: empty (register 0), or — with the bit-shift
+        // optimization — "max rank at least bit_shift − 1" (register b).
+        let floor = cfg.bit_shift as u8;
+        metrics
+            .iter()
+            .zip(regs)
+            .map(|(&metric, vec_regs)| {
+                let registers: Vec<u8> = vec_regs.into_iter().map(|r| r.unwrap_or(floor)).collect();
+                let estimate = match cfg.estimator {
+                    EstimatorKind::HyperLogLog => hyperloglog_estimate_from_registers(&registers),
+                    _ => superloglog_estimate_from_registers(&registers),
+                };
+                CountResult {
+                    metric,
+                    estimate,
+                    registers: registers.into_iter().map(u32::from).collect(),
+                    stats,
+                }
+            })
+            .collect()
+    }
+
+    /// DHS-PCSA: scan bit positions from least to most significant; the
+    /// first interval where a vector's bit cannot be found (after `lim`
+    /// probes) concludes its lowest-zero position.
+    fn count_pcsa<O: Overlay>(
+        &self,
+        ring: &O,
+        metrics: &[MetricId],
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> Vec<CountResult> {
+        let cfg = *self.config();
+        let m = cfg.m;
+        let mut first_zero: Vec<Vec<Option<u32>>> = vec![vec![None; m]; metrics.len()];
+        let mut unresolved = metrics.len() * m;
+        let mut stats = CountStats::default();
+        let bytes_before = ledger.bytes();
+        let hops_before = ledger.hops();
+
+        let mut prober = Prober {
+            dhs: self,
+            ring,
+            origin,
+            metrics,
+            rng,
+        };
+        // Scratch: which still-unresolved vectors have been confirmed set
+        // at the current rank (nothing more to learn about them here).
+        let mut confirmed: Vec<Vec<bool>> = vec![vec![false; m]; metrics.len()];
+        for rank in cfg.bit_shift..cfg.scan_bits() {
+            if unresolved == 0 {
+                break;
+            }
+            for row in &mut confirmed {
+                row.iter_mut().for_each(|c| *c = false);
+            }
+            // Unresolved vectors not yet confirmed set at this rank.
+            let mut in_question = unresolved;
+            let (mut walk, mut target) = prober.open_interval(rank, ledger, &mut stats);
+            for attempt in 0..cfg.lim {
+                if attempt > 0 {
+                    target = walk.next_target();
+                    ledger.charge_hops(1);
+                }
+                prober.probe(target, rank, ledger, &mut stats, |mi, vector| {
+                    if first_zero[mi][vector].is_none() && !confirmed[mi][vector] {
+                        confirmed[mi][vector] = true;
+                        in_question -= 1;
+                    }
+                });
+                if in_question == 0 {
+                    break; // every candidate is set at this rank
+                }
+            }
+            // Candidates never seen set at this rank: their lowest zero is
+            // here (possibly wrongly, if all `lim` probes missed — §4.1).
+            for (mi, row) in confirmed.iter().enumerate() {
+                for (vector, &is_set) in row.iter().enumerate() {
+                    if first_zero[mi][vector].is_none() && !is_set {
+                        first_zero[mi][vector] = Some(rank);
+                        unresolved -= 1;
+                    }
+                }
+            }
+        }
+
+        stats.bytes = ledger.bytes() - bytes_before;
+        stats.hops = ledger.hops() - hops_before;
+        // Vectors set at every scanned rank saturate at rank_bits.
+        let saturated = cfg.rank_bits();
+        metrics
+            .iter()
+            .zip(first_zero)
+            .map(|(&metric, vec_zeros)| {
+                let values: Vec<u32> = vec_zeros
+                    .into_iter()
+                    .map(|z| z.unwrap_or(saturated))
+                    .collect();
+                CountResult {
+                    metric,
+                    estimate: pcsa_estimate_from_first_zeros(&values),
+                    registers: values,
+                    stats,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DhsConfig;
+    use dhs_dht::ring::{Ring, RingConfig};
+    use dhs_sketch::{ItemHasher, SplitMix64};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(nodes: usize, seed: u64) -> (Ring, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ring = Ring::build(nodes, RingConfig::default(), &mut rng);
+        (ring, rng)
+    }
+
+    fn populate(
+        dhs: &Dhs,
+        ring: &mut Ring,
+        metric: MetricId,
+        n: u64,
+        hash_seed: u64,
+        rng: &mut StdRng,
+    ) {
+        let hasher = SplitMix64::with_seed(hash_seed);
+        let origin = ring.alive_ids()[0];
+        let mut ledger = CostLedger::new();
+        for i in 0..n {
+            dhs.insert(ring, metric, hasher.hash_u64(i), origin, rng, &mut ledger);
+        }
+    }
+
+    fn cfg(estimator: EstimatorKind, m: usize) -> DhsConfig {
+        DhsConfig {
+            m,
+            estimator,
+            ..DhsConfig::default()
+        }
+    }
+
+    /// Dense regime (n ≥ m·N): both estimators should land within a few
+    /// standard errors of the truth.
+    #[test]
+    fn sll_counts_dense_population() {
+        let (mut ring, mut rng) = setup(128, 1);
+        let dhs = Dhs::new(cfg(EstimatorKind::SuperLogLog, 64)).unwrap();
+        let n = 50_000u64;
+        populate(&dhs, &mut ring, 1, n, 7, &mut rng);
+        let mut ledger = CostLedger::new();
+        let origin = ring.alive_ids()[3];
+        let result = dhs.count(&ring, 1, origin, &mut rng, &mut ledger);
+        let err = result.relative_error(n).abs();
+        // 1.05/√64 ≈ 13%; allow 3σ plus distribution error.
+        assert!(err < 0.45, "estimate {} (err {err})", result.estimate);
+    }
+
+    #[test]
+    fn pcsa_counts_dense_population() {
+        let (mut ring, mut rng) = setup(128, 2);
+        let dhs = Dhs::new(cfg(EstimatorKind::Pcsa, 64)).unwrap();
+        let n = 50_000u64;
+        populate(&dhs, &mut ring, 1, n, 7, &mut rng);
+        let mut ledger = CostLedger::new();
+        let origin = ring.alive_ids()[3];
+        let result = dhs.count(&ring, 1, origin, &mut rng, &mut ledger);
+        let err = result.relative_error(n).abs();
+        assert!(err < 0.40, "estimate {} (err {err})", result.estimate);
+    }
+
+    /// The distributed reconstruction must match a local sketch built from
+    /// the same items when probing is exhaustive (lim ≥ interval node
+    /// count ⇒ nothing can be missed).
+    #[test]
+    fn exhaustive_probing_matches_local_sketch_sll() {
+        let nodes = 16;
+        let (mut ring, mut rng) = setup(nodes, 3);
+        let config = DhsConfig {
+            lim: nodes as u32, // exhaustive
+            ..cfg(EstimatorKind::SuperLogLog, 16)
+        };
+        let dhs = Dhs::new(config).unwrap();
+        let n = 5_000u64;
+        populate(&dhs, &mut ring, 1, n, 9, &mut rng);
+
+        // Local reference sketch over the same k-bit keys.
+        let hasher = SplitMix64::with_seed(9);
+        let mut local = dhs_sketch::SuperLogLog::new(16).unwrap();
+        for i in 0..n {
+            let (vector, rank) = dhs.classify(hasher.hash_u64(i));
+            local.observe(vector as usize, rank as u8 + 1);
+        }
+
+        let mut ledger = CostLedger::new();
+        let origin = ring.alive_ids()[0];
+        let result = dhs.count(&ring, 1, origin, &mut rng, &mut ledger);
+        for v in 0..16 {
+            assert_eq!(
+                result.registers[v],
+                u32::from(local.register(v)),
+                "vector {v}"
+            );
+        }
+        use dhs_sketch::CardinalityEstimator;
+        assert!((result.estimate - local.estimate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_probing_matches_local_sketch_pcsa() {
+        let nodes = 16;
+        let (mut ring, mut rng) = setup(nodes, 4);
+        let config = DhsConfig {
+            lim: nodes as u32,
+            ..cfg(EstimatorKind::Pcsa, 16)
+        };
+        let dhs = Dhs::new(config).unwrap();
+        let n = 5_000u64;
+        populate(&dhs, &mut ring, 1, n, 11, &mut rng);
+
+        let hasher = SplitMix64::with_seed(11);
+        let mut local = dhs_sketch::Pcsa::with_width(16, 16).unwrap();
+        for i in 0..n {
+            let (vector, rank) = dhs.classify(hasher.hash_u64(i));
+            local.set_bit(vector as usize, rank);
+        }
+
+        let mut ledger = CostLedger::new();
+        let origin = ring.alive_ids()[0];
+        let result = dhs.count(&ring, 1, origin, &mut rng, &mut ledger);
+        for v in 0..16 {
+            assert_eq!(result.registers[v], local.lowest_zero(v), "vector {v}");
+        }
+    }
+
+    #[test]
+    fn hll_counts_dense_population() {
+        let (mut ring, mut rng) = setup(128, 17);
+        let dhs = Dhs::new(cfg(EstimatorKind::HyperLogLog, 64)).unwrap();
+        let n = 50_000u64;
+        populate(&dhs, &mut ring, 1, n, 7, &mut rng);
+        let mut ledger = CostLedger::new();
+        let origin = ring.alive_ids()[3];
+        let result = dhs.count(&ring, 1, origin, &mut rng, &mut ledger);
+        let err = result.relative_error(n).abs();
+        // 1.04/√64 = 13%; allow 3σ plus distribution error.
+        assert!(err < 0.45, "estimate {} (err {err})", result.estimate);
+    }
+
+    #[test]
+    fn hll_small_population_uses_linear_counting() {
+        // The HLL extension fixes the small-cardinality weakness of the
+        // paper's estimators: counting 500 items with m = 256 registers.
+        let (mut ring, mut rng) = setup(64, 19);
+        let config = DhsConfig {
+            lim: 16,
+            ..cfg(EstimatorKind::HyperLogLog, 256)
+        };
+        let dhs = Dhs::new(config).unwrap();
+        populate(&dhs, &mut ring, 1, 500, 3, &mut rng);
+        let origin = ring.alive_ids()[0];
+        let hll = dhs.count(&ring, 1, origin, &mut rng, &mut CostLedger::new());
+        let sll_dhs = Dhs::new(DhsConfig {
+            lim: 16,
+            ..cfg(EstimatorKind::SuperLogLog, 256)
+        })
+        .unwrap();
+        let sll = sll_dhs.count(&ring, 1, origin, &mut rng, &mut CostLedger::new());
+        // Both must be usable at n/m ≈ 2 — the linear-counting path keeps
+        // HLL sane where plain LogLog formulas are far out of their
+        // asymptotic regime (cf. the −30%+ biases in debug diagnostics).
+        let hll_err = hll.relative_error(500).abs();
+        let sll_err = sll.relative_error(500).abs();
+        assert!(hll_err < 0.30, "HLL err {hll_err} ({})", hll.estimate);
+        assert!(sll_err < 0.45, "sLL err {sll_err} ({})", sll.estimate);
+    }
+
+    /// The paper develops DHS for a single bitmap first (§3.1–3.3,
+    /// "We'll first discuss the PCSA case when m = 1"); that degenerate
+    /// configuration must work end-to-end.
+    #[test]
+    fn single_bitmap_pcsa_counts() {
+        let (mut ring, mut rng) = setup(64, 23);
+        let config = DhsConfig {
+            m: 1,
+            lim: 8,
+            ..cfg(EstimatorKind::Pcsa, 1)
+        };
+        let dhs = Dhs::new(config).unwrap();
+        let n = 40_000u64;
+        populate(&dhs, &mut ring, 1, n, 5, &mut rng);
+        let origin = ring.alive_ids()[0];
+        let result = dhs.count(&ring, 1, origin, &mut rng, &mut CostLedger::new());
+        // A single FM bitmap has ~78% standard error: only sanity-check
+        // the binary order of magnitude (the paper's own framing).
+        assert!(
+            result.estimate > n as f64 / 8.0 && result.estimate < n as f64 * 8.0,
+            "single-bitmap estimate {} for n = {n}",
+            result.estimate
+        );
+        assert_eq!(result.registers.len(), 1);
+    }
+
+    #[test]
+    fn empty_metric_estimates_near_zero() {
+        let (ring, mut rng) = setup(64, 5);
+        let dhs = Dhs::new(cfg(EstimatorKind::SuperLogLog, 32)).unwrap();
+        let mut ledger = CostLedger::new();
+        let origin = ring.alive_ids()[0];
+        let result = dhs.count(&ring, 99, origin, &mut rng, &mut ledger);
+        assert!(result.registers.iter().all(|&r| r == 0));
+        assert!(result.estimate < 32.0);
+    }
+
+    #[test]
+    fn multi_metric_scan_shares_cost() {
+        // Counting 8 metrics at once must cost (nearly) the same hops as
+        // counting 1 — the paper's multi-dimensional counting property.
+        let (mut ring, mut rng) = setup(128, 6);
+        let dhs = Dhs::new(cfg(EstimatorKind::SuperLogLog, 32)).unwrap();
+        for metric in 0..8u32 {
+            populate(
+                &dhs,
+                &mut ring,
+                metric,
+                20_000,
+                100 + u64::from(metric),
+                &mut rng,
+            );
+        }
+        let origin = ring.alive_ids()[0];
+
+        let mut single_ledger = CostLedger::new();
+        let single = dhs.count(&ring, 0, origin, &mut rng, &mut single_ledger);
+
+        let metrics: Vec<u32> = (0..8).collect();
+        let mut multi_ledger = CostLedger::new();
+        let multi = dhs.count_multi(&ring, &metrics, origin, &mut rng, &mut multi_ledger);
+
+        assert_eq!(multi.len(), 8);
+        // All results share the same stats instance values.
+        assert!(multi.windows(2).all(|w| w[0].stats == w[1].stats));
+        // Hop cost within 2x (scan depth varies slightly with the union
+        // of unresolved vectors), *not* 8x.
+        let ratio = multi[0].stats.hops as f64 / single.stats.hops.max(1) as f64;
+        assert!(ratio < 2.5, "hops ratio {ratio}");
+        // Bandwidth *does* scale with metrics (bigger responses).
+        assert!(multi[0].stats.bytes > single.stats.bytes);
+    }
+
+    #[test]
+    fn duplicate_insertions_do_not_change_estimate() {
+        let (mut ring, mut rng) = setup(64, 7);
+        let dhs = Dhs::new(cfg(EstimatorKind::SuperLogLog, 32)).unwrap();
+        let hasher = SplitMix64::default();
+        let origin = ring.alive_ids()[0];
+        let mut ledger = CostLedger::new();
+        for i in 0..3_000u64 {
+            for _ in 0..3 {
+                dhs.insert(
+                    &mut ring,
+                    1,
+                    hasher.hash_u64(i),
+                    origin,
+                    &mut rng,
+                    &mut ledger,
+                );
+            }
+        }
+        let mut count_rng = StdRng::seed_from_u64(1234);
+        let mut l1 = CostLedger::new();
+        let with_dups = dhs.count(&ring, 1, origin, &mut count_rng, &mut l1);
+
+        // Fresh ring with each item inserted once.
+        let (mut ring2, mut rng2) = setup(64, 7);
+        let origin2 = ring2.alive_ids()[0];
+        let mut ledger2 = CostLedger::new();
+        for i in 0..3_000u64 {
+            dhs.insert(
+                &mut ring2,
+                1,
+                hasher.hash_u64(i),
+                origin2,
+                &mut rng2,
+                &mut ledger2,
+            );
+        }
+        let mut count_rng2 = StdRng::seed_from_u64(1234);
+        let mut l2 = CostLedger::new();
+        let without_dups = dhs.count(&ring2, 1, origin2, &mut count_rng2, &mut l2);
+
+        // Same seed for the probe RNG and same ring topology: duplicates
+        // may place extra tuple copies (different RNG draws at insertion),
+        // so estimates need not be bit-identical — but they must be close.
+        let diff = (with_dups.estimate - without_dups.estimate).abs() / without_dups.estimate;
+        assert!(diff < 0.25, "duplicate drift {diff}");
+    }
+
+    #[test]
+    fn counting_cost_independent_of_m() {
+        // Hop count should not grow linearly with the number of bitmaps
+        // (§4.2); allow sub-2x drift for retry effects.
+        let (mut ring, mut rng) = setup(256, 8);
+        let n = 60_000u64;
+        let mut hops = Vec::new();
+        for m in [16usize, 64, 256] {
+            let dhs = Dhs::new(cfg(EstimatorKind::SuperLogLog, m)).unwrap();
+            populate(&dhs, &mut ring, m as u32, n, 55, &mut rng);
+            let mut ledger = CostLedger::new();
+            let origin = ring.alive_ids()[0];
+            let result = dhs.count(&ring, m as u32, origin, &mut rng, &mut ledger);
+            hops.push(result.stats.hops);
+        }
+        let max = *hops.iter().max().unwrap() as f64;
+        let min = *hops.iter().min().unwrap() as f64;
+        assert!(max / min < 3.0, "hops across m: {hops:?}");
+    }
+
+    #[test]
+    fn stats_probe_lookup_split_is_consistent() {
+        let (mut ring, mut rng) = setup(128, 9);
+        let dhs = Dhs::new(cfg(EstimatorKind::SuperLogLog, 64)).unwrap();
+        populate(&dhs, &mut ring, 1, 30_000, 77, &mut rng);
+        let mut ledger = CostLedger::new();
+        let origin = ring.alive_ids()[0];
+        let result = dhs.count(&ring, 1, origin, &mut rng, &mut ledger);
+        let s = result.stats;
+        assert_eq!(s.lookups, u64::from(s.intervals_scanned));
+        // Each interval probes between 1 and lim nodes.
+        assert!(s.probes >= s.lookups);
+        assert!(s.probes <= s.lookups * u64::from(dhs.config().lim));
+        // Walk hops = probes − lookups (each retry is one hop).
+        assert!(s.hops >= s.probes - s.lookups);
+        assert!(s.bytes > 0);
+    }
+}

@@ -1,0 +1,444 @@
+//! DHS insertion (§3.2) and the protocol handle.
+//!
+//! To record an item with DHT key `o.id`:
+//!
+//! 1. take the `k` low-order bits, split them into a vector index
+//!    (`lsb_k(o.id) mod m`) and a rank (`ρ(lsb_k(o.id) div m)`);
+//! 2. choose a key uniformly at random in the rank's ID-space interval;
+//! 3. route to its owner and store the tuple
+//!    `<metric_id, vector_id, bit, time_out>` there (the owner keeps at
+//!    most one tuple per `(metric, vector, bit)` — re-insertions refresh
+//!    the timestamp);
+//! 4. optionally replicate the tuple on the `R − 1` immediate successors
+//!    (§3.5).
+//!
+//! A node with many items can group them by rank and bulk-insert each
+//! group with a single lookup, touching at most `k` nodes per round
+//! ([`Dhs::bulk_insert`]).
+
+use rand::Rng;
+
+use dhs_dht::cost::CostLedger;
+use dhs_dht::overlay::Overlay;
+use dhs_dht::storage::StoredRecord;
+use dhs_sketch::rho::{lsb, rho};
+
+use crate::config::{ConfigError, DhsConfig};
+use crate::intervals::interval_for_rank;
+use crate::tuple::{DhsTuple, MetricId};
+
+/// The DHS protocol handle: a validated configuration plus the insertion
+/// and counting operations (counting lives in [`crate::count`]).
+///
+/// `Dhs` is stateless — all distributed state lives in the overlay — and
+/// generic over any [`Overlay`] (Chord ring, Kademlia, …): the paper's
+/// "DHT-agnostic" design, enforced by the type system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dhs {
+    cfg: DhsConfig,
+}
+
+impl Dhs {
+    /// Validate `cfg` and build a handle.
+    pub fn new(cfg: DhsConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Dhs { cfg })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DhsConfig {
+        &self.cfg
+    }
+
+    /// Split an item's DHT key into `(vector, rank)` — the bitmap it
+    /// updates and the bit position it sets.
+    ///
+    /// The rank saturates at the top storable position when the key's
+    /// rank bits are all zero (probability `2^{−rank_bits}`).
+    pub fn classify(&self, item_key: u64) -> (u16, u32) {
+        let low = lsb(item_key, self.cfg.k);
+        let vector = (low & (self.cfg.m as u64 - 1)) as u16;
+        let rest = low >> self.cfg.bucket_bits();
+        let rank = rho(rest).min(self.cfg.rank_bits() - 1);
+        (vector, rank)
+    }
+
+    /// Record one item for `metric`, initiated by overlay node `origin`.
+    ///
+    /// Returns `false` when the item's bit position is below the
+    /// configured `bit_shift` (the bit is implied, nothing is stored and
+    /// nothing is charged); `true` otherwise.
+    pub fn insert<O: Overlay>(
+        &self,
+        ring: &mut O,
+        metric: MetricId,
+        item_key: u64,
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> bool {
+        let (vector, rank) = self.classify(item_key);
+        if rank < self.cfg.bit_shift {
+            return false;
+        }
+        let tuple = DhsTuple {
+            metric,
+            vector,
+            bit: rank as u8,
+        };
+        self.store_tuples(ring, &[tuple], rank, origin, rng, ledger);
+        true
+    }
+
+    /// Record a batch of items for `metric`, grouping them by bit
+    /// position so that each position costs a single lookup (§3.2's bulk
+    /// insertion: "every node will need to contact at most k ≤ L nodes").
+    ///
+    /// Returns the number of tuples actually shipped (after per-group
+    /// `(vector, bit)` deduplication and bit-shift elision).
+    pub fn bulk_insert<O: Overlay>(
+        &self,
+        ring: &mut O,
+        metric: MetricId,
+        item_keys: &[u64],
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> usize {
+        // Group by rank; dedup vectors inside each group.
+        let rank_count = self.cfg.rank_bits() as usize;
+        let mut groups: Vec<Vec<u16>> = vec![Vec::new(); rank_count];
+        for &key in item_keys {
+            let (vector, rank) = self.classify(key);
+            if rank >= self.cfg.bit_shift {
+                groups[rank as usize].push(vector);
+            }
+        }
+        let mut shipped = 0;
+        for (rank, mut vectors) in groups.into_iter().enumerate() {
+            if vectors.is_empty() {
+                continue;
+            }
+            vectors.sort_unstable();
+            vectors.dedup();
+            let tuples: Vec<DhsTuple> = vectors
+                .into_iter()
+                .map(|vector| DhsTuple {
+                    metric,
+                    vector,
+                    bit: rank as u8,
+                })
+                .collect();
+            shipped += tuples.len();
+            self.store_tuples(ring, &tuples, rank as u32, origin, rng, ledger);
+        }
+        shipped
+    }
+
+    /// Route to a random key in `rank`'s interval and store `tuples` at
+    /// the owner (plus `R − 1` successor replicas).
+    fn store_tuples<O: Overlay>(
+        &self,
+        ring: &mut O,
+        tuples: &[DhsTuple],
+        rank: u32,
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) {
+        let interval = interval_for_rank(&self.cfg, rank);
+        let routing_key = rng.gen_range(interval.lo..=interval.hi);
+        let hops_before = ledger.hops();
+        let owner = ring.route(origin, routing_key, ledger);
+        let hops = ledger.hops() - hops_before;
+        let payload = u64::from(self.cfg.tuple_bytes) * tuples.len() as u64;
+        // One logical message carrying the payload across `hops` hops.
+        ledger.charge_message(0);
+        ledger.charge_bytes(payload * hops);
+
+        let expires_at = ring.time().saturating_add(self.cfg.ttl);
+        let record = StoredRecord {
+            expires_at,
+            size_bytes: self.cfg.tuple_bytes,
+            routing_key,
+        };
+        let mut holder = owner;
+        for replica in 0..self.cfg.replication {
+            if replica > 0 {
+                holder = ring.next_node(holder);
+                if holder == owner {
+                    break; // ring smaller than the replication degree
+                }
+                ledger.charge_hops(1);
+                ledger.charge_message(0);
+                ledger.charge_bytes(payload);
+                ledger.record_visit(holder);
+            }
+            for tuple in tuples {
+                ring.put_at(holder, tuple.app_key(), record);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhs_dht::ring::{Ring, RingConfig};
+    use dhs_sketch::{ItemHasher, SplitMix64};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_cfg() -> DhsConfig {
+        DhsConfig {
+            k: 20,
+            m: 16,
+            ..DhsConfig::default()
+        }
+    }
+
+    fn setup(nodes: usize, seed: u64) -> (Ring, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ring = Ring::build(nodes, RingConfig::default(), &mut rng);
+        (ring, rng)
+    }
+
+    #[test]
+    fn classify_matches_local_sketch_rule() {
+        let dhs = Dhs::new(small_cfg()).unwrap();
+        // k = 20, m = 16 → vector = low 4 bits, rank = ρ of next 16 bits.
+        let key = 0b1010_0000_0000_0100_0111u64; // low 4 = 0b0111 = 7
+        let (vector, rank) = dhs.classify(key);
+        assert_eq!(vector, 7);
+        // Remaining 16 bits: 0b1010_0000_0000_0100 → ρ = 2.
+        assert_eq!(rank, 2);
+    }
+
+    #[test]
+    fn classify_saturates_on_zero_rank_bits() {
+        let dhs = Dhs::new(small_cfg()).unwrap();
+        // Low 20 bits: vector bits nonzero, rank bits all zero.
+        let key = 0xFFF0_0000_0000_0005u64;
+        let (vector, rank) = dhs.classify(key);
+        assert_eq!(vector, 5);
+        assert_eq!(rank, dhs.config().rank_bits() - 1, "saturated");
+    }
+
+    #[test]
+    fn insert_places_tuple_at_interval_owner() {
+        let (mut ring, mut rng) = setup(64, 1);
+        let dhs = Dhs::new(small_cfg()).unwrap();
+        let origin = ring.random_alive(&mut rng);
+        let mut ledger = CostLedger::new();
+        let item = 0xABCDEF12_34567890u64;
+        let (vector, rank) = dhs.classify(item);
+        assert!(dhs.insert(&mut ring, 9, item, origin, &mut rng, &mut ledger));
+
+        // Exactly one node must hold the tuple, and its routing key must
+        // lie in the rank's interval.
+        let tuple = DhsTuple {
+            metric: 9,
+            vector,
+            bit: rank as u8,
+        };
+        let holders: Vec<u64> = ring
+            .alive_ids()
+            .iter()
+            .copied()
+            .filter(|&node| ring.get_at(node, tuple.app_key()).is_some())
+            .collect();
+        assert_eq!(holders.len(), 1);
+        let rec = ring.get_at(holders[0], tuple.app_key()).unwrap();
+        let interval = interval_for_rank(dhs.config(), rank);
+        assert!(interval.contains(rec.routing_key));
+        assert_eq!(ring.successor(rec.routing_key), holders[0]);
+    }
+
+    #[test]
+    fn insert_costs_logarithmic_hops_and_paper_bandwidth() {
+        let (mut ring, mut rng) = setup(1024, 2);
+        let dhs = Dhs::new(DhsConfig::default()).unwrap();
+        let hasher = SplitMix64::default();
+        let mut ledger = CostLedger::new();
+        let n = 2000u64;
+        for i in 0..n {
+            let origin = ring.random_alive(&mut rng);
+            dhs.insert(
+                &mut ring,
+                1,
+                hasher.hash_u64(i),
+                origin,
+                &mut rng,
+                &mut ledger,
+            );
+        }
+        let avg_hops = ledger.hops() as f64 / n as f64;
+        // Paper: ~3.4 hops average on 1024 nodes; Chord theory ≤ log2 N.
+        assert!((2.0..7.0).contains(&avg_hops), "avg hops {avg_hops}");
+        let avg_bytes = ledger.bytes() as f64 / n as f64;
+        // 8-byte tuples × avg hops ⇒ tens of bytes (paper: ~27).
+        assert!((10.0..60.0).contains(&avg_bytes), "avg bytes {avg_bytes}");
+    }
+
+    #[test]
+    fn reinsertion_dedups_at_node() {
+        let (mut ring, mut rng) = setup(32, 3);
+        let dhs = Dhs::new(small_cfg()).unwrap();
+        let origin = ring.alive_ids()[0];
+        let mut ledger = CostLedger::new();
+        let item = 42u64;
+        for _ in 0..10 {
+            dhs.insert(&mut ring, 1, item, origin, &mut rng, &mut ledger);
+        }
+        // The same (metric, vector, bit) may land on several nodes (the
+        // routing key is random per insertion), but each node holds at
+        // most one copy, so total copies ≤ 10 and per-node copies == 1.
+        let (vector, rank) = dhs.classify(item);
+        let tuple = DhsTuple {
+            metric: 1,
+            vector,
+            bit: rank as u8,
+        };
+        let holders = ring
+            .alive_ids()
+            .iter()
+            .filter(|&&node| ring.get_at(node, tuple.app_key()).is_some())
+            .count();
+        assert!((1..=10).contains(&holders));
+        // Storage accounting says at most `holders` tuples exist.
+        assert_eq!(ring.total_live_bytes(), holders as u64 * 8);
+    }
+
+    #[test]
+    fn bit_shift_elides_low_bits() {
+        let cfg = DhsConfig {
+            bit_shift: 3,
+            ..small_cfg()
+        };
+        let (mut ring, mut rng) = setup(32, 4);
+        let dhs = Dhs::new(cfg).unwrap();
+        let origin = ring.alive_ids()[0];
+        let mut ledger = CostLedger::new();
+        let hasher = SplitMix64::default();
+        let mut stored = 0;
+        let mut elided = 0;
+        for i in 0..2000u64 {
+            if dhs.insert(
+                &mut ring,
+                1,
+                hasher.hash_u64(i),
+                origin,
+                &mut rng,
+                &mut ledger,
+            ) {
+                stored += 1;
+            } else {
+                elided += 1;
+            }
+        }
+        // Ranks 0..2 cover 1/2 + 1/4 + 1/8 = 87.5% of items.
+        let frac = f64::from(elided) / f64::from(stored + elided);
+        assert!((0.82..0.92).contains(&frac), "elided fraction {frac}");
+    }
+
+    #[test]
+    fn replication_stores_on_successors() {
+        let cfg = DhsConfig {
+            replication: 3,
+            ..small_cfg()
+        };
+        let (mut ring, mut rng) = setup(64, 5);
+        let dhs = Dhs::new(cfg).unwrap();
+        let origin = ring.alive_ids()[0];
+        let mut ledger = CostLedger::new();
+        let item = 7u64;
+        dhs.insert(&mut ring, 1, item, origin, &mut rng, &mut ledger);
+        let (vector, rank) = dhs.classify(item);
+        let tuple = DhsTuple {
+            metric: 1,
+            vector,
+            bit: rank as u8,
+        };
+        let holders: Vec<u64> = ring
+            .alive_ids()
+            .iter()
+            .copied()
+            .filter(|&node| ring.get_at(node, tuple.app_key()).is_some())
+            .collect();
+        assert_eq!(holders.len(), 3);
+        // Replicas are consecutive successors of the primary.
+        let primary = ring.successor(
+            ring.get_at(holders[0], tuple.app_key())
+                .unwrap()
+                .routing_key,
+        );
+        let r1 = ring.succ_of(primary);
+        let r2 = ring.succ_of(r1);
+        let mut expected = vec![primary, r1, r2];
+        expected.sort_unstable();
+        assert_eq!(holders, expected);
+    }
+
+    #[test]
+    fn bulk_insert_touches_at_most_one_lookup_per_rank() {
+        let (mut ring, mut rng) = setup(256, 6);
+        let dhs = Dhs::new(small_cfg()).unwrap();
+        let hasher = SplitMix64::default();
+        let origin = ring.random_alive(&mut rng);
+        let items: Vec<u64> = (0..5_000u64).map(|i| hasher.hash_u64(i)).collect();
+        let mut ledger = CostLedger::new();
+        let shipped = dhs.bulk_insert(&mut ring, 1, &items, origin, &mut rng, &mut ledger);
+        // Dedup: at most m·rank_bits distinct tuples.
+        assert!(shipped <= 16 * 16);
+        // One logical message per non-empty rank group ⇒ ≤ rank_bits.
+        assert!(ledger.messages() <= 16, "messages {}", ledger.messages());
+    }
+
+    #[test]
+    fn bulk_insert_equals_individual_inserts_for_counting() {
+        // The set of (node-agnostic) stored tuples after bulk insertion
+        // must equal the deduplicated classify() image.
+        let (mut ring, mut rng) = setup(64, 7);
+        let dhs = Dhs::new(small_cfg()).unwrap();
+        let hasher = SplitMix64::default();
+        let origin = ring.alive_ids()[0];
+        let items: Vec<u64> = (0..500u64).map(|i| hasher.hash_u64(i)).collect();
+        let mut ledger = CostLedger::new();
+        dhs.bulk_insert(&mut ring, 1, &items, origin, &mut rng, &mut ledger);
+
+        let mut expected: Vec<(u16, u32)> = items.iter().map(|&k| dhs.classify(k)).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        for (vector, rank) in expected {
+            let tuple = DhsTuple {
+                metric: 1,
+                vector,
+                bit: rank as u8,
+            };
+            let present = ring
+                .alive_ids()
+                .iter()
+                .any(|&node| ring.get_at(node, tuple.app_key()).is_some());
+            assert!(
+                present,
+                "tuple ({vector}, {rank}) missing after bulk insert"
+            );
+        }
+    }
+
+    #[test]
+    fn ttl_expires_tuples() {
+        let cfg = DhsConfig {
+            ttl: 50,
+            ..small_cfg()
+        };
+        let (mut ring, mut rng) = setup(16, 8);
+        let dhs = Dhs::new(cfg).unwrap();
+        let origin = ring.alive_ids()[0];
+        let mut ledger = CostLedger::new();
+        dhs.insert(&mut ring, 1, 99, origin, &mut rng, &mut ledger);
+        assert!(ring.total_live_bytes() > 0);
+        ring.advance_time(50);
+        assert_eq!(ring.total_live_bytes(), 0, "tuple aged out");
+    }
+}

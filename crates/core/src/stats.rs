@@ -1,0 +1,182 @@
+//! Counting statistics and small numeric summaries used by experiments.
+
+use crate::tuple::MetricId;
+
+/// Cost breakdown of one counting (estimation) operation.
+///
+/// `hops` and `bytes` mirror what the operation charged into its
+/// [`dhs_dht::cost::CostLedger`]; the probe/lookup split is what the
+/// paper's §5.2 discussion reports ("only ∼12 nodes were visited via DHT
+/// lookups, while the remaining 84 nodes were visited through one-hop
+/// retries").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountStats {
+    /// Number of full DHT lookups issued (one per scanned interval).
+    pub lookups: u64,
+    /// Number of node probes (initial target + walk retries).
+    pub probes: u64,
+    /// Total routing hops (lookup hops + one-hop walk steps).
+    pub hops: u64,
+    /// Total bytes moved (requests + probe responses).
+    pub bytes: u64,
+    /// Number of ID-space intervals scanned before resolution.
+    pub intervals_scanned: u32,
+}
+
+/// The outcome of estimating one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountResult {
+    /// The metric estimated.
+    pub metric: MetricId,
+    /// The cardinality estimate.
+    pub estimate: f64,
+    /// Reconstructed per-vector register values (1-based max ranks for
+    /// super-LogLog, first-zero positions for PCSA), for diagnostics.
+    pub registers: Vec<u32>,
+    /// Cost of the counting operation these results came from. When
+    /// several metrics are counted together (multi-dimensional counting,
+    /// §4.2), the scan is shared and every result carries the *same*
+    /// operation-total stats — that sharing is the paper's point.
+    pub stats: CountStats,
+}
+
+impl CountResult {
+    /// Relative signed error against a known ground truth.
+    pub fn relative_error(&self, actual: u64) -> f64 {
+        if actual == 0 {
+            self.estimate
+        } else {
+            (self.estimate - actual as f64) / actual as f64
+        }
+    }
+}
+
+/// Online mean/min/max/std accumulator for experiment summaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation (Welford update).
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0 for < 2 observations).
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mean_std() {
+        let mut s = Summary::new();
+        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        let mut s = Summary::new();
+        s.add(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(s.min(), 3.5);
+    }
+
+    #[test]
+    fn relative_error_signs() {
+        let r = CountResult {
+            metric: 1,
+            estimate: 110.0,
+            registers: vec![],
+            stats: CountStats::default(),
+        };
+        assert!((r.relative_error(100) - 0.1).abs() < 1e-12);
+        let r = CountResult {
+            metric: 1,
+            estimate: 90.0,
+            registers: vec![],
+            stats: CountStats::default(),
+        };
+        assert!((r.relative_error(100) + 0.1).abs() < 1e-12);
+        // Zero ground truth: report the raw estimate.
+        assert_eq!(r.relative_error(0), 90.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the DHS core protocol.
+
+use dhs_core::retry::{hit_probability, prob_t_empty_probes, required_lim};
+use dhs_core::tuple::DhsTuple;
+use dhs_core::{Dhs, DhsConfig, EstimatorKind};
+use dhs_dht::cost::CostLedger;
+use dhs_dht::ring::{Ring, RingConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Tuple app-key packing is injective over its full field ranges.
+    #[test]
+    fn tuple_key_roundtrip(metric in any::<u32>(), vector in any::<u16>(), bit in any::<u8>()) {
+        let t = DhsTuple { metric, vector, bit };
+        prop_assert_eq!(DhsTuple::from_app_key(t.app_key()), t);
+    }
+
+    /// classify() respects the sketch insertion rule for any valid m.
+    #[test]
+    fn classify_rule(item in any::<u64>(), c in 0u32..12) {
+        let cfg = DhsConfig { k: 24, m: 1usize << c, ..DhsConfig::default() };
+        prop_assume!(cfg.validate().is_ok());
+        let dhs = Dhs::new(cfg).unwrap();
+        let (vector, rank) = dhs.classify(item);
+        let low = item & ((1u64 << 24) - 1);
+        prop_assert_eq!(u64::from(vector), low % (1u64 << c));
+        prop_assert!(rank < cfg.rank_bits());
+        let rest = low >> c;
+        if rest != 0 && rest.trailing_zeros() < cfg.rank_bits() - 1 {
+            prop_assert_eq!(rank, rest.trailing_zeros());
+        }
+    }
+
+    /// Eq. 5 is a valid probability, decreasing in t and in items.
+    #[test]
+    fn eq5_is_probability(items in 0u64..10_000, nodes in 1u64..1_000, t in 0u64..1_000) {
+        let p = prob_t_empty_probes(items, nodes, t);
+        prop_assert!((0.0..=1.0).contains(&p));
+        if t < nodes {
+            prop_assert!(prob_t_empty_probes(items, nodes, t + 1) <= p + 1e-12);
+        }
+        prop_assert!(prob_t_empty_probes(items + 100, nodes, t) <= p + 1e-12);
+    }
+
+    /// required_lim is the minimal budget achieving its target.
+    #[test]
+    fn required_lim_minimal(
+        items in 1u64..100_000,
+        nodes in 1u64..2_000,
+        c in 0usize..10,
+        replication in 1u32..8,
+    ) {
+        let m = 1usize << c;
+        let p = 0.95;
+        let lim = required_lim(p, items, nodes, m, replication);
+        prop_assert!(lim >= 1);
+        let achieved = hit_probability(lim, items, nodes, m, replication);
+        // The forward model matches (up to the ceil).
+        if u64::from(lim) < nodes {
+            prop_assert!(achieved >= p - 1e-9, "lim {lim} achieves only {achieved}");
+        }
+        prop_assert!(hit_probability(lim + 1, items, nodes, m, replication) >= achieved - 1e-12);
+    }
+
+    /// Insertion followed by exhaustive counting recovers exactly the
+    /// local sketch registers, for arbitrary item sets — the end-to-end
+    /// correctness property of the whole protocol.
+    #[test]
+    fn exhaustive_count_equals_local_sketch(
+        items in prop::collection::vec(any::<u64>(), 0..150),
+        seed in any::<u64>(),
+    ) {
+        let nodes = 12usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ring = Ring::build(nodes, RingConfig::default(), &mut rng);
+        let cfg = DhsConfig {
+            k: 20,
+            m: 8,
+            lim: 2 * nodes as u32, // exhaustive
+            estimator: EstimatorKind::SuperLogLog,
+            ..DhsConfig::default()
+        };
+        let dhs = Dhs::new(cfg).unwrap();
+        let origin = ring.alive_ids()[0];
+        let mut ledger = CostLedger::new();
+        let mut local = dhs_sketch::SuperLogLog::new(8).unwrap();
+        for &item in &items {
+            dhs.insert(&mut ring, 1, item, origin, &mut rng, &mut ledger);
+            let (v, r) = dhs.classify(item);
+            local.observe(v as usize, r as u8 + 1);
+        }
+        let result = dhs.count(&ring, 1, origin, &mut rng, &mut CostLedger::new());
+        for v in 0..8 {
+            prop_assert_eq!(
+                result.registers[v],
+                u32::from(local.register(v)),
+                "vector {} of {:?}", v, result.registers
+            );
+        }
+    }
+
+    /// Counting cost bounds always hold: probes ≤ intervals × lim,
+    /// lookups == intervals, hops ≥ walk steps.
+    #[test]
+    fn count_stats_invariants(
+        n_items in 0u64..3_000,
+        seed in any::<u64>(),
+        estimator_sll in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ring = Ring::build(32, RingConfig::default(), &mut rng);
+        let cfg = DhsConfig {
+            k: 20,
+            m: 16,
+            estimator: if estimator_sll {
+                EstimatorKind::SuperLogLog
+            } else {
+                EstimatorKind::Pcsa
+            },
+            ..DhsConfig::default()
+        };
+        let dhs = Dhs::new(cfg).unwrap();
+        use dhs_sketch::ItemHasher;
+        let hasher = dhs_sketch::SplitMix64::default();
+        let keys: Vec<u64> = (0..n_items).map(|i| hasher.hash_u64(i)).collect();
+        let origin = ring.alive_ids()[0];
+        dhs.bulk_insert(&mut ring, 1, &keys, origin, &mut rng, &mut CostLedger::new());
+        let result = dhs.count(&ring, 1, origin, &mut rng, &mut CostLedger::new());
+        let s = result.stats;
+        prop_assert_eq!(s.lookups, u64::from(s.intervals_scanned));
+        prop_assert!(s.intervals_scanned <= cfg.num_intervals());
+        prop_assert!(s.probes >= s.lookups);
+        prop_assert!(s.probes <= s.lookups * u64::from(cfg.lim));
+        prop_assert!(s.hops >= s.probes - s.lookups, "walk steps are hops");
+    }
+
+    /// Bit-shift never stores ranks below b and intervals stay disjoint.
+    #[test]
+    fn bit_shift_elision(item in any::<u64>(), b in 0u32..6) {
+        let cfg = DhsConfig {
+            k: 20,
+            m: 16,
+            bit_shift: b,
+            ..DhsConfig::default()
+        };
+        prop_assume!(cfg.validate().is_ok());
+        let dhs = Dhs::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ring = Ring::build(8, RingConfig::default(), &mut rng);
+        let origin = ring.alive_ids()[0];
+        let stored = dhs.insert(&mut ring, 1, item, origin, &mut rng, &mut CostLedger::new());
+        let (_, rank) = dhs.classify(item);
+        prop_assert_eq!(stored, rank >= b);
+        prop_assert_eq!(ring.total_live_bytes() > 0, rank >= b);
+    }
+}

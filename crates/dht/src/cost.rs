@@ -1,0 +1,215 @@
+//! Cost accounting.
+//!
+//! Every quantity the paper's tables report — routing hops, nodes visited,
+//! bandwidth, per-node access load — is charged into a [`CostLedger`] by
+//! the operation that incurs it. Experiments read ledgers; nothing is ever
+//! hand-computed, so the reported numbers are the simulated numbers by
+//! construction.
+
+use std::collections::HashMap;
+
+/// Accumulates the cost of a (sequence of) distributed operation(s).
+#[derive(Debug, Clone, Default)]
+pub struct CostLedger {
+    hops: u64,
+    messages: u64,
+    bytes: u64,
+    /// Distinct-node visit counts: node id → number of times a message
+    /// was delivered to it.
+    visits: HashMap<u64, u64>,
+}
+
+impl CostLedger {
+    /// A fresh, empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total routing hops charged.
+    pub fn hops(&self) -> u64 {
+        self.hops
+    }
+
+    /// Total messages charged.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total bytes charged.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of *distinct* nodes that received at least one message.
+    pub fn nodes_visited(&self) -> usize {
+        self.visits.len()
+    }
+
+    /// Visit count for a specific node (0 if never visited).
+    pub fn visits_to(&self, node: u64) -> u64 {
+        self.visits.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Charge `n` routing hops.
+    pub fn charge_hops(&mut self, n: u64) {
+        self.hops += n;
+    }
+
+    /// Charge one message of `size` bytes (does not imply a hop; routed
+    /// messages charge hops separately per routing step).
+    pub fn charge_message(&mut self, size_bytes: u64) {
+        self.messages += 1;
+        self.bytes += size_bytes;
+    }
+
+    /// Charge raw bytes (e.g. payload carried across several hops).
+    pub fn charge_bytes(&mut self, n: u64) {
+        self.bytes += n;
+    }
+
+    /// Record a message delivery to `node`.
+    pub fn record_visit(&mut self, node: u64) {
+        *self.visits.entry(node).or_insert(0) += 1;
+    }
+
+    /// Fold another ledger into this one (for aggregating per-operation
+    /// ledgers into an experiment total).
+    pub fn absorb(&mut self, other: &CostLedger) {
+        self.hops += other.hops;
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        for (&node, &count) in &other.visits {
+            *self.visits.entry(node).or_insert(0) += count;
+        }
+    }
+
+    /// Load-balance summary over the visit counts.
+    pub fn load_summary(&self) -> LoadSummary {
+        LoadSummary::from_counts(self.visits.values().copied())
+    }
+}
+
+/// Summary statistics of a load distribution (visit or storage counts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSummary {
+    /// Number of loaded entities.
+    pub count: usize,
+    /// Smallest load.
+    pub min: u64,
+    /// Largest load.
+    pub max: u64,
+    /// Mean load.
+    pub mean: f64,
+    /// Gini coefficient in `[0, 1]`: 0 = perfectly balanced.
+    pub gini: f64,
+}
+
+impl LoadSummary {
+    /// Compute a summary from raw per-entity load counts.
+    pub fn from_counts(counts: impl IntoIterator<Item = u64>) -> Self {
+        let mut v: Vec<u64> = counts.into_iter().collect();
+        if v.is_empty() {
+            return LoadSummary {
+                count: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                gini: 0.0,
+            };
+        }
+        v.sort_unstable();
+        let n = v.len() as f64;
+        let total: u64 = v.iter().sum();
+        let mean = total as f64 / n;
+        // Gini via the sorted-rank formula:
+        // G = (2·Σ i·x_i) / (n·Σ x_i) − (n+1)/n, with i starting at 1.
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let weighted: f64 = v
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+                .sum();
+            (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+        };
+        LoadSummary {
+            count: v.len(),
+            min: v[0],
+            max: *v.last().expect("non-empty"),
+            mean,
+            gini,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut ledger = CostLedger::new();
+        ledger.charge_hops(3);
+        ledger.charge_message(100);
+        ledger.charge_message(28);
+        ledger.charge_bytes(10);
+        assert_eq!(ledger.hops(), 3);
+        assert_eq!(ledger.messages(), 2);
+        assert_eq!(ledger.bytes(), 138);
+    }
+
+    #[test]
+    fn visits_count_distinct_nodes() {
+        let mut ledger = CostLedger::new();
+        ledger.record_visit(1);
+        ledger.record_visit(2);
+        ledger.record_visit(1);
+        assert_eq!(ledger.nodes_visited(), 2);
+        assert_eq!(ledger.visits_to(1), 2);
+        assert_eq!(ledger.visits_to(2), 1);
+        assert_eq!(ledger.visits_to(99), 0);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = CostLedger::new();
+        a.charge_hops(1);
+        a.record_visit(7);
+        let mut b = CostLedger::new();
+        b.charge_hops(2);
+        b.charge_message(5);
+        b.record_visit(7);
+        b.record_visit(8);
+        a.absorb(&b);
+        assert_eq!(a.hops(), 3);
+        assert_eq!(a.messages(), 1);
+        assert_eq!(a.bytes(), 5);
+        assert_eq!(a.nodes_visited(), 2);
+        assert_eq!(a.visits_to(7), 2);
+    }
+
+    #[test]
+    fn gini_of_uniform_is_zero() {
+        let s = LoadSummary::from_counts([5u64, 5, 5, 5]);
+        assert!(s.gini.abs() < 1e-12);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.mean, 5.0);
+    }
+
+    #[test]
+    fn gini_of_concentrated_is_high() {
+        // All load on one of many entities → G → (n−1)/n.
+        let mut counts = vec![0u64; 99];
+        counts.push(1000);
+        let s = LoadSummary::from_counts(counts);
+        assert!(s.gini > 0.98, "gini = {}", s.gini);
+    }
+
+    #[test]
+    fn gini_handles_empty_and_zero() {
+        assert_eq!(LoadSummary::from_counts(std::iter::empty()).gini, 0.0);
+        assert_eq!(LoadSummary::from_counts([0u64, 0, 0]).gini, 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! # dhs-dht — a deterministic Chord-like DHT simulator
+//!
+//! The DHS paper runs its evaluation on a simulated 1024-node Chord
+//! overlay with 64-bit identifiers. This crate is that substrate, built
+//! for *exact cost accounting* rather than wire realism:
+//!
+//! * [`ring::Ring`] — the overlay: a sorted set of alive nodes on the
+//!   `u64` identifier circle, each owning the keys in
+//!   `(predecessor, self]`. Lookups use simulated Chord finger routing
+//!   (greedy closest-preceding-finger over the converged overlay) and
+//!   charge one hop per routing step into a [`cost::CostLedger`].
+//! * [`storage::NodeStore`] — per-node soft-state key/value store with
+//!   time-to-live expiry driven by the ring's logical clock, exactly the
+//!   storage model DHS needs (§3.3 of the paper).
+//! * [`cost::CostLedger`] — hops, messages and bytes, plus per-node access
+//!   counters so experiments can report access-load balance (the paper's
+//!   constraint (iii)).
+//! * [`churn`] — fail-stop node failures (bits stored on failed nodes
+//!   become unavailable; routing steps that hit a failed node cost a hop
+//!   and move on) and graceful join/leave with key handoff.
+//!
+//! Beyond the Chord ring, the crate provides:
+//!
+//! * [`overlay::Overlay`] — the DHT abstraction `dhs-core` is generic
+//!   over (ownership, routed lookup, ID-space neighbors, storage, clock);
+//! * [`kademlia::Kademlia`] — a second geometry (XOR ownership, prefix
+//!   routing) validating the paper's "DHT-agnostic" claim;
+//! * [`fingers::FingerTables`] — explicit Chord finger tables with the
+//!   stabilization protocol, for churn-staleness experiments.
+//!
+//! Everything is deterministic given a seed; experiments pass their own
+//! `StdRng`.
+//!
+//! ```
+//! use dhs_dht::ring::{Ring, RingConfig};
+//! use dhs_dht::cost::CostLedger;
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut ring = Ring::build(1024, RingConfig::default(), &mut rng);
+//! let mut ledger = CostLedger::default();
+//! let from = ring.random_alive(&mut rng);
+//! let owner = ring.route(from, 0xDEAD_BEEF, &mut ledger);
+//! assert!(ledger.hops() <= 64);
+//! assert_eq!(owner, ring.successor(0xDEAD_BEEF));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod cost;
+pub mod fingers;
+pub mod id;
+pub mod kademlia;
+pub mod overlay;
+pub mod ring;
+pub mod storage;
+
+pub use cost::CostLedger;
+pub use fingers::{FingerTables, RouteOutcome, StaleView};
+pub use id::{cw_contains, cw_distance};
+pub use kademlia::Kademlia;
+pub use overlay::Overlay;
+pub use ring::{Ring, RingConfig};
+pub use storage::{NodeStore, StoredRecord};

@@ -1,0 +1,58 @@
+//! The DHT abstraction DHS builds on.
+//!
+//! The paper: *"The proposed design is DHT-agnostic, in the sense that it
+//! can be deployed over any peer-to-peer overlay conforming to the DHT
+//! abstraction."* This trait is that abstraction: key ownership, routed
+//! lookup, ID-space neighbor links, soft-state storage, and a logical
+//! clock. [`crate::ring::Ring`] (Chord) and [`crate::kademlia::Kademlia`]
+//! (XOR-metric) both implement it, and `dhs-core` is generic over it —
+//! which makes the claim checkable instead of rhetorical.
+
+use rand::Rng;
+
+use crate::cost::CostLedger;
+use crate::storage::StoredRecord;
+
+/// A structured overlay exposing the DHT abstraction.
+///
+/// Identifier space is `[0, 2^64)`. "Neighbors" are *numeric* ID-space
+/// neighbors (the next/previous alive node by identifier) — every DHT
+/// has them, because every DHT assigns numeric identifiers; geometries
+/// differ in *ownership* and *routing*, which is exactly what this trait
+/// leaves to the implementor.
+pub trait Overlay {
+    /// Number of alive nodes.
+    fn node_count(&self) -> usize;
+
+    /// Current logical time (drives TTL semantics).
+    fn time(&self) -> u64;
+
+    /// The alive node that owns `key` under this geometry's placement
+    /// rule (Chord: successor; Kademlia: XOR-closest).
+    fn owner_of(&self, key: u64) -> u64;
+
+    /// Route a message from `from` to the owner of `key`, charging hops
+    /// into the ledger. Returns the owner.
+    fn route(&self, from: u64, key: u64, ledger: &mut CostLedger) -> u64;
+
+    /// The alive node with the next-larger identifier (wrapping).
+    fn next_node(&self, node: u64) -> u64;
+
+    /// The alive node with the next-smaller identifier (wrapping).
+    fn prev_node(&self, node: u64) -> u64;
+
+    /// Store a soft-state record at `node` (must be alive).
+    fn put_at(&mut self, node: u64, app_key: u64, record: StoredRecord);
+
+    /// Read a live record from `node` (`None` when absent, expired, or
+    /// the node is failed).
+    fn fetch_at(&self, node: u64, app_key: u64) -> Option<StoredRecord>;
+
+    /// A uniformly random alive node (experiment origin selection).
+    fn any_node(&self, rng: &mut dyn rand::RngCore) -> u64;
+}
+
+/// Blanket helper: pick a uniform alive node with any `Rng`.
+pub fn random_node<O: Overlay + ?Sized>(overlay: &O, rng: &mut impl Rng) -> u64 {
+    overlay.any_node(rng)
+}

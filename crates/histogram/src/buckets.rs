@@ -1,0 +1,145 @@
+//! Equi-width domain partitioning (§4.3).
+//!
+//! "We create a partitioning of the domain `D : [a_min, a_max]` of values
+//! of attribute `a` into `I` equally-sized intervals/buckets `B_i` […]
+//! We then create a metric_id for each bucket."
+
+use dhs_core::MetricId;
+
+/// An equi-width partitioning of an integer attribute domain, plus the
+/// base metric id its buckets map to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketSpec {
+    /// Smallest attribute value (inclusive).
+    pub min: u32,
+    /// Largest attribute value (inclusive).
+    pub max: u32,
+    /// Number of buckets (`I`).
+    pub buckets: u32,
+    /// Metric id of bucket 0; bucket `i` uses `metric_base + i`.
+    pub metric_base: MetricId,
+}
+
+impl BucketSpec {
+    /// Build a spec; `min ≤ max`, `buckets ≥ 1`, and buckets may not
+    /// outnumber domain values.
+    pub fn new(min: u32, max: u32, buckets: u32, metric_base: MetricId) -> Self {
+        assert!(min <= max, "empty domain");
+        assert!(buckets >= 1);
+        let domain = u64::from(max) - u64::from(min) + 1;
+        assert!(
+            u64::from(buckets) <= domain,
+            "more buckets than domain values"
+        );
+        BucketSpec {
+            min,
+            max,
+            buckets,
+            metric_base,
+        }
+    }
+
+    /// Width of each bucket: `⌈(a_max − a_min + 1) / I⌉` (the last bucket
+    /// may be narrower when the domain does not divide evenly).
+    pub fn width(&self) -> u64 {
+        let domain = u64::from(self.max) - u64::from(self.min) + 1;
+        domain.div_ceil(u64::from(self.buckets))
+    }
+
+    /// The bucket index of `value`, or `None` if outside the domain.
+    pub fn bucket_of(&self, value: u32) -> Option<u32> {
+        if value < self.min || value > self.max {
+            return None;
+        }
+        let idx = (u64::from(value) - u64::from(self.min)) / self.width();
+        Some((idx as u32).min(self.buckets - 1))
+    }
+
+    /// The half-open value range `[lo, hi)` of bucket `i` (clamped to the
+    /// domain's end for the last bucket).
+    pub fn range_of(&self, bucket: u32) -> (u32, u32) {
+        assert!(bucket < self.buckets);
+        let w = self.width();
+        let lo = u64::from(self.min) + u64::from(bucket) * w;
+        let hi = (lo + w).min(u64::from(self.max) + 1);
+        (lo as u32, hi as u32)
+    }
+
+    /// The metric id of bucket `i`.
+    pub fn metric_of(&self, bucket: u32) -> MetricId {
+        assert!(bucket < self.buckets);
+        self.metric_base + bucket
+    }
+
+    /// All bucket metric ids, in bucket order.
+    pub fn metrics(&self) -> Vec<MetricId> {
+        (0..self.buckets).map(|b| self.metric_of(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partition() {
+        let s = BucketSpec::new(0, 99, 10, 1000);
+        assert_eq!(s.width(), 10);
+        assert_eq!(s.bucket_of(0), Some(0));
+        assert_eq!(s.bucket_of(9), Some(0));
+        assert_eq!(s.bucket_of(10), Some(1));
+        assert_eq!(s.bucket_of(99), Some(9));
+        assert_eq!(s.range_of(0), (0, 10));
+        assert_eq!(s.range_of(9), (90, 100));
+    }
+
+    #[test]
+    fn uneven_partition_clamps_last_bucket() {
+        let s = BucketSpec::new(0, 102, 10, 0); // 103 values, width 11
+        assert_eq!(s.width(), 11);
+        assert_eq!(s.bucket_of(102), Some(9));
+        let (lo, hi) = s.range_of(9);
+        assert_eq!((lo, hi), (99, 103));
+    }
+
+    #[test]
+    fn out_of_domain_is_none() {
+        let s = BucketSpec::new(10, 19, 2, 0);
+        assert_eq!(s.bucket_of(9), None);
+        assert_eq!(s.bucket_of(20), None);
+        assert_eq!(s.bucket_of(10), Some(0));
+        assert_eq!(s.bucket_of(19), Some(1));
+    }
+
+    #[test]
+    fn ranges_tile_the_domain() {
+        let s = BucketSpec::new(5, 104, 7, 0);
+        let mut expected_lo = 5u32;
+        for b in 0..7 {
+            let (lo, hi) = s.range_of(b);
+            assert_eq!(lo, expected_lo, "bucket {b}");
+            assert!(hi > lo);
+            expected_lo = hi;
+        }
+        assert_eq!(expected_lo, 105);
+        // Every value maps into the bucket whose range contains it.
+        for v in 5..=104u32 {
+            let b = s.bucket_of(v).unwrap();
+            let (lo, hi) = s.range_of(b);
+            assert!((lo..hi).contains(&v), "value {v} bucket {b}");
+        }
+    }
+
+    #[test]
+    fn metric_ids_are_contiguous() {
+        let s = BucketSpec::new(0, 99, 4, 500);
+        assert_eq!(s.metrics(), vec![500, 501, 502, 503]);
+        assert_eq!(s.metric_of(3), 503);
+    }
+
+    #[test]
+    #[should_panic(expected = "more buckets than domain values")]
+    fn too_many_buckets_panics() {
+        BucketSpec::new(0, 3, 10, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Histograms over DHS (§4.3).
+//!
+//! Building: every node records each of its tuples into the DHS metric of
+//! the bucket the tuple's attribute value falls in.
+//!
+//! Reconstructing: one multi-dimensional counting scan recovers *all*
+//! bucket cardinalities at the hop cost of a single estimation — the
+//! property Table 3 measures.
+
+use rand::Rng;
+
+use dhs_core::{CountStats, Dhs};
+use dhs_dht::cost::CostLedger;
+use dhs_dht::overlay::Overlay;
+use dhs_sketch::ItemHasher;
+use dhs_workload::Relation;
+
+use crate::buckets::BucketSpec;
+
+/// A histogram reconstructed from the DHS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DhsHistogram {
+    /// The partitioning.
+    pub spec: BucketSpec,
+    /// Estimated tuple count per bucket.
+    pub estimates: Vec<f64>,
+    /// Cost of the reconstruction scan (shared across all buckets).
+    pub stats: CountStats,
+}
+
+impl DhsHistogram {
+    /// Record `relation`'s tuples into the DHS, one metric per bucket.
+    /// Each tuple is inserted from a uniformly random origin node
+    /// (mirroring "tuples are randomly assigned to nodes"). Out-of-domain
+    /// values are skipped. Returns the number of tuples recorded.
+    pub fn build<O: Overlay>(
+        dhs: &Dhs,
+        ring: &mut O,
+        relation: &Relation,
+        spec: BucketSpec,
+        hasher: &impl ItemHasher,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> usize {
+        let mut recorded = 0;
+        for tuple in &relation.tuples {
+            let Some(bucket) = spec.bucket_of(tuple.value) else {
+                continue;
+            };
+            let metric = spec.metric_of(bucket);
+            let origin = dhs_dht::overlay::random_node(ring, rng);
+            dhs.insert(ring, metric, hasher.hash_u64(tuple.id), origin, rng, ledger);
+            recorded += 1;
+        }
+        recorded
+    }
+
+    /// Reconstruct the histogram with a single multi-metric scan from
+    /// node `origin`.
+    pub fn reconstruct<O: Overlay>(
+        dhs: &Dhs,
+        ring: &O,
+        spec: BucketSpec,
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> Self {
+        let metrics = spec.metrics();
+        let results = dhs.count_multi(ring, &metrics, origin, rng, ledger);
+        let stats = results[0].stats;
+        DhsHistogram {
+            spec,
+            estimates: results.into_iter().map(|r| r.estimate).collect(),
+            stats,
+        }
+    }
+
+    /// Estimated total tuples across buckets.
+    pub fn total(&self) -> f64 {
+        self.estimates.iter().sum()
+    }
+
+    /// Mean relative per-cell error against ground truth counts, over the
+    /// cells whose true count is non-zero (the paper's "average
+    /// estimation error per histogram cell").
+    pub fn mean_cell_error(&self, actual: &[u64]) -> f64 {
+        assert_eq!(actual.len(), self.estimates.len());
+        let mut total = 0.0;
+        let mut cells = 0usize;
+        for (est, &act) in self.estimates.iter().zip(actual) {
+            if act > 0 {
+                total += (est - act as f64).abs() / act as f64;
+                cells += 1;
+            }
+        }
+        if cells == 0 {
+            0.0
+        } else {
+            total / cells as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactHistogram;
+    use dhs_core::{DhsConfig, EstimatorKind};
+    use dhs_dht::ring::{Ring, RingConfig};
+    use dhs_sketch::SplitMix64;
+    use dhs_workload::relation::RelationSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Dhs, Ring, Relation, BucketSpec, StdRng) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let ring = Ring::build(128, RingConfig::default(), &mut rng);
+        let cfg = DhsConfig {
+            m: 64,
+            estimator: EstimatorKind::SuperLogLog,
+            ..DhsConfig::default()
+        };
+        let dhs = Dhs::new(cfg).unwrap();
+        let spec = RelationSpec {
+            name: "H",
+            paper_tuples: 60_000,
+            domain: 1_000,
+            theta: 0.7,
+        };
+        let relation = Relation::generate(&spec, 1.0, 1, &mut rng);
+        let buckets = BucketSpec::new(0, 999, 10, 100);
+        (dhs, ring, relation, buckets, rng)
+    }
+
+    #[test]
+    fn build_and_reconstruct_roundtrip() {
+        let (dhs, mut ring, relation, spec, mut rng) = setup();
+        let hasher = SplitMix64::default();
+        let mut ledger = CostLedger::new();
+        let recorded = DhsHistogram::build(
+            &dhs,
+            &mut ring,
+            &relation,
+            spec,
+            &hasher,
+            &mut rng,
+            &mut ledger,
+        );
+        assert_eq!(recorded, relation.len());
+
+        let exact = ExactHistogram::build(&relation, spec);
+        let origin = ring.alive_ids()[0];
+        let mut scan_ledger = CostLedger::new();
+        let hist = DhsHistogram::reconstruct(&dhs, &ring, spec, origin, &mut rng, &mut scan_ledger);
+        assert_eq!(hist.estimates.len(), 10);
+
+        // The heavy Zipf head bucket must be estimated reasonably; light
+        // tail buckets are sparse and noisier. Check the head 3 buckets.
+        for b in 0..3 {
+            let est = hist.estimates[b];
+            let act = exact.counts[b] as f64;
+            let err = (est - act).abs() / act;
+            assert!(err < 0.6, "bucket {b}: est {est} vs {act}");
+        }
+        // Total within 50%.
+        let terr = (hist.total() - exact.total() as f64).abs() / exact.total() as f64;
+        assert!(terr < 0.5, "total err {terr}");
+    }
+
+    #[test]
+    fn reconstruction_cost_matches_single_count_shape() {
+        let (dhs, mut ring, relation, spec, mut rng) = setup();
+        let hasher = SplitMix64::default();
+        let mut ledger = CostLedger::new();
+        DhsHistogram::build(
+            &dhs,
+            &mut ring,
+            &relation,
+            spec,
+            &hasher,
+            &mut rng,
+            &mut ledger,
+        );
+        let origin = ring.alive_ids()[0];
+
+        let mut hist_ledger = CostLedger::new();
+        let hist = DhsHistogram::reconstruct(&dhs, &ring, spec, origin, &mut rng, &mut hist_ledger);
+
+        let mut single_ledger = CostLedger::new();
+        let single = dhs.count(
+            &ring,
+            spec.metric_of(0),
+            origin,
+            &mut rng,
+            &mut single_ledger,
+        );
+
+        // Hop cost independent of bucket count (within scan-depth noise).
+        let ratio = hist.stats.hops as f64 / single.stats.hops.max(1) as f64;
+        assert!(ratio < 2.5, "hops ratio {ratio}");
+        // Bandwidth scales with buckets instead.
+        assert!(hist.stats.bytes > single.stats.bytes);
+    }
+
+    #[test]
+    fn mean_cell_error_ignores_empty_cells() {
+        let spec = BucketSpec::new(0, 99, 4, 0);
+        let h = DhsHistogram {
+            spec,
+            estimates: vec![110.0, 90.0, 5.0, 0.0],
+            stats: CountStats::default(),
+        };
+        let err = h.mean_cell_error(&[100, 100, 0, 0]);
+        assert!((err - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Ground-truth histograms, computed locally from the raw tuples.
+
+use dhs_workload::Relation;
+
+use crate::buckets::BucketSpec;
+
+/// An exact per-bucket tuple-count histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactHistogram {
+    /// The partitioning this histogram is over.
+    pub spec: BucketSpec,
+    /// Exact tuple counts per bucket.
+    pub counts: Vec<u64>,
+}
+
+impl ExactHistogram {
+    /// Compute the exact histogram of `relation` under `spec`. Tuples
+    /// with out-of-domain values are ignored.
+    pub fn build(relation: &Relation, spec: BucketSpec) -> Self {
+        let mut counts = vec![0u64; spec.buckets as usize];
+        for tuple in &relation.tuples {
+            if let Some(b) = spec.bucket_of(tuple.value) {
+                counts[b as usize] += 1;
+            }
+        }
+        ExactHistogram { spec, counts }
+    }
+
+    /// Total tuples across buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bucket counts as `f64` (for comparing against estimates).
+    pub fn as_f64(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| c as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhs_workload::relation::{Relation, RelationSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn relation() -> Relation {
+        let spec = RelationSpec {
+            name: "X",
+            paper_tuples: 10_000,
+            domain: 1_000,
+            theta: 0.7,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        Relation::generate(&spec, 1.0, 1, &mut rng)
+    }
+
+    #[test]
+    fn exact_histogram_sums_to_relation_size() {
+        let rel = relation();
+        let spec = BucketSpec::new(0, 999, 10, 0);
+        let h = ExactHistogram::build(&rel, spec);
+        assert_eq!(h.total(), rel.len() as u64);
+        assert_eq!(h.counts.len(), 10);
+    }
+
+    #[test]
+    fn exact_histogram_matches_count_in_range() {
+        let rel = relation();
+        let spec = BucketSpec::new(0, 999, 10, 0);
+        let h = ExactHistogram::build(&rel, spec);
+        for b in 0..10u32 {
+            let (lo, hi) = spec.range_of(b);
+            assert_eq!(h.counts[b as usize], rel.count_in_range(lo, hi));
+        }
+    }
+
+    #[test]
+    fn zipf_head_bucket_dominates() {
+        let rel = relation();
+        let spec = BucketSpec::new(0, 999, 10, 0);
+        let h = ExactHistogram::build(&rel, spec);
+        let max = *h.counts.iter().max().unwrap();
+        assert_eq!(h.counts[0], max, "Zipf head in bucket 0");
+        assert!(h.counts[0] > 3 * h.counts[9]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Selectivity estimation from a (possibly estimated) histogram.
+//!
+//! This is the consumer side of the paper's query-optimization story: a
+//! node that has reconstructed a histogram answers "how many tuples
+//! satisfy `lo ≤ a < hi`" locally, assuming values are uniform within a
+//! bucket — the classic equi-width model of Selinger-style optimizers.
+
+use crate::buckets::BucketSpec;
+
+/// A histogram view: a partitioning plus per-bucket (possibly estimated)
+/// tuple counts.
+#[derive(Debug, Clone, Copy)]
+pub struct Selectivity<'a> {
+    spec: BucketSpec,
+    counts: &'a [f64],
+}
+
+impl<'a> Selectivity<'a> {
+    /// Wrap a histogram. `counts.len()` must equal the bucket count.
+    pub fn new(spec: BucketSpec, counts: &'a [f64]) -> Self {
+        assert_eq!(counts.len(), spec.buckets as usize);
+        Selectivity { spec, counts }
+    }
+
+    /// Estimated tuples with `lo ≤ value < hi` (uniform-within-bucket
+    /// interpolation for partially covered buckets).
+    pub fn range(&self, lo: u32, hi: u32) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for b in 0..self.spec.buckets {
+            let (blo, bhi) = self.spec.range_of(b);
+            let overlap_lo = lo.max(blo);
+            let overlap_hi = hi.min(bhi);
+            if overlap_hi > overlap_lo {
+                let frac = f64::from(overlap_hi - overlap_lo) / f64::from(bhi - blo);
+                total += self.counts[b as usize] * frac;
+            }
+        }
+        total
+    }
+
+    /// Estimated tuples with `value == v` (bucket count / bucket width).
+    pub fn equal(&self, v: u32) -> f64 {
+        match self.spec.bucket_of(v) {
+            None => 0.0,
+            Some(b) => {
+                let (lo, hi) = self.spec.range_of(b);
+                self.counts[b as usize] / f64::from(hi - lo)
+            }
+        }
+    }
+
+    /// Estimated total tuples.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Estimated fraction of tuples with `lo ≤ value < hi`.
+    pub fn fraction(&self, lo: u32, hi: u32) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.range(lo, hi) / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(counts: &[f64]) -> Selectivity<'_> {
+        // Domain [0, 99], 10 buckets of width 10.
+        Selectivity::new(BucketSpec::new(0, 99, 10, 0), counts)
+    }
+
+    #[test]
+    fn full_range_is_total() {
+        let counts = [10.0, 20.0, 30.0, 0.0, 0.0, 5.0, 5.0, 10.0, 10.0, 10.0];
+        let s = view(&counts);
+        assert!((s.range(0, 100) - 100.0).abs() < 1e-9);
+        assert!((s.total() - 100.0).abs() < 1e-9);
+        assert!((s.fraction(0, 100) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn whole_bucket_range() {
+        let counts = [10.0; 10];
+        let s = view(&counts);
+        assert!((s.range(10, 20) - 10.0).abs() < 1e-9);
+        assert!((s.range(10, 30) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_bucket_interpolates() {
+        let counts = [10.0; 10];
+        let s = view(&counts);
+        // Half of bucket 0.
+        assert!((s.range(0, 5) - 5.0).abs() < 1e-9);
+        // 3/10 of bucket 1 plus 2/10 of bucket 2.
+        assert!((s.range(17, 22) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_divides_by_width() {
+        let counts = [10.0, 50.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let s = view(&counts);
+        assert!((s.equal(0) - 1.0).abs() < 1e-9);
+        assert!((s.equal(15) - 5.0).abs() < 1e-9);
+        assert_eq!(s.equal(200), 0.0);
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges() {
+        let counts = [10.0; 10];
+        let s = view(&counts);
+        assert_eq!(s.range(50, 50), 0.0);
+        assert_eq!(s.range(60, 50), 0.0);
+    }
+
+    #[test]
+    fn range_clamps_outside_domain() {
+        let counts = [10.0; 10];
+        let s = view(&counts);
+        // [90, 1000) covers only bucket 9.
+        assert!((s.range(90, 1000) - 10.0).abs() < 1e-9);
+    }
+}

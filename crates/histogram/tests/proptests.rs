@@ -1,0 +1,124 @@
+//! Property-based tests for the histogram crate.
+
+use dhs_histogram::advanced::{maxdiff, v_optimal};
+use dhs_histogram::buckets::BucketSpec;
+use dhs_histogram::query::{exact_join_size, join_size};
+use dhs_histogram::selectivity::Selectivity;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = BucketSpec> {
+    (0u32..1000, 1u32..500, 1u32..40).prop_filter_map(
+        "buckets must fit the domain",
+        |(min, width, buckets)| {
+            let max = min + width * buckets - 1;
+            if u64::from(buckets) <= u64::from(max) - u64::from(min) + 1 {
+                Some(BucketSpec::new(min, max, buckets, 0))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+proptest! {
+    /// Every in-domain value belongs to exactly one bucket, and bucket
+    /// ranges tile the domain.
+    #[test]
+    fn buckets_partition_domain(spec in arb_spec(), offset in 0u32..10_000) {
+        let value = spec.min + offset % (spec.max - spec.min + 1);
+        let b = spec.bucket_of(value).expect("in-domain");
+        let (lo, hi) = spec.range_of(b);
+        prop_assert!((lo..hi).contains(&value));
+        // Tiling.
+        let mut expected = spec.min;
+        for i in 0..spec.buckets {
+            let (lo, hi) = spec.range_of(i);
+            prop_assert_eq!(lo, expected);
+            prop_assert!(hi > lo);
+            expected = hi;
+        }
+        prop_assert_eq!(expected, spec.max + 1);
+    }
+
+    /// Selectivity is additive over adjacent ranges and bounded by the
+    /// total.
+    #[test]
+    fn selectivity_additive(
+        counts in prop::collection::vec(0.0f64..1e6, 10),
+        a in 0u32..100,
+        b in 0u32..100,
+        c in 0u32..100,
+    ) {
+        let spec = BucketSpec::new(0, 99, 10, 0);
+        let sel = Selectivity::new(spec, &counts);
+        let mut points = [a.min(99), b.min(99), c.min(99)];
+        points.sort_unstable();
+        let [x, y, z] = points;
+        let split = sel.range(x, y) + sel.range(y, z);
+        let whole = sel.range(x, z);
+        prop_assert!((split - whole).abs() < 1e-6 * (1.0 + whole));
+        prop_assert!(whole <= sel.total() + 1e-6);
+    }
+
+    /// The join-size model is symmetric and zero when either side is
+    /// empty.
+    #[test]
+    fn join_model_symmetric(
+        a in prop::collection::vec(0.0f64..1e5, 8),
+        b in prop::collection::vec(0.0f64..1e5, 8),
+    ) {
+        let spec = BucketSpec::new(0, 79, 8, 0);
+        let ab = join_size(&spec, &a, &b);
+        let ba = join_size(&spec, &b, &a);
+        prop_assert!((ab - ba).abs() < 1e-6 * (1.0 + ab));
+        let zero = vec![0.0; 8];
+        prop_assert_eq!(join_size(&spec, &a, &zero), 0.0);
+    }
+
+    /// The exact join size is an upper-bounded bilinear form.
+    #[test]
+    fn exact_join_bilinear(
+        a in prop::collection::vec(0u64..1000, 6),
+        b in prop::collection::vec(0u64..1000, 6),
+    ) {
+        let size = exact_join_size(&a, &b);
+        let max_a = *a.iter().max().unwrap();
+        let sum_b: u64 = b.iter().sum();
+        prop_assert!(size <= max_a * sum_b);
+    }
+
+    /// V-optimal never loses to maxdiff on the SSE objective, for
+    /// arbitrary cell sequences; both conserve the total mass.
+    #[test]
+    fn v_optimal_dominates_maxdiff(
+        cells in prop::collection::vec(0.0f64..1e4, 4..30),
+        target_frac in 0.2f64..0.9,
+    ) {
+        let n = cells.len();
+        let target = ((n as f64 * target_frac) as usize).clamp(1, n);
+        let spec = BucketSpec::new(0, (n * 10 - 1) as u32, n as u32, 0);
+        let vo = v_optimal(&spec, &cells, target);
+        let md = maxdiff(&spec, &cells, target);
+        let total: f64 = cells.iter().sum();
+        prop_assert!((vo.total() - total).abs() < 1e-6 * (1.0 + total));
+        prop_assert!((md.total() - total).abs() < 1e-6 * (1.0 + total));
+        let sse_vo = vo.sse_against_cells(&spec, &cells);
+        let sse_md = md.sse_against_cells(&spec, &cells);
+        prop_assert!(
+            sse_vo <= sse_md + 1e-6 * (1.0 + sse_md),
+            "v-optimal {sse_vo} vs maxdiff {sse_md}"
+        );
+    }
+
+    /// Variable histograms report consistent ranges: the full-domain
+    /// range equals the total.
+    #[test]
+    fn variable_range_consistent(cells in prop::collection::vec(0.0f64..1e4, 4..20)) {
+        let n = cells.len();
+        let spec = BucketSpec::new(0, (n * 10 - 1) as u32, n as u32, 0);
+        let h = v_optimal(&spec, &cells, (n / 2).max(1));
+        let full = h.range(0, (n * 10) as u32);
+        prop_assert!((full - h.total()).abs() < 1e-6 * (1.0 + h.total()));
+        prop_assert_eq!(h.range(50, 50), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Bias-correction constants for the LogLog estimator family.
+//!
+//! * [`alpha_loglog`] computes the exact Durand–Flajolet constant
+//!   `α_m = (Γ(−1/m) · (1 − 2^{1/m}) / ln 2)^{−m}` via the Lanczos Γ.
+//! * [`alpha_superloglog`] returns the constant `α̃_m` for the *truncated*
+//!   estimator (keep the `m₀ = ⌊θ₀·m⌋` smallest registers). Durand &
+//!   Flajolet give no closed form for it; following common practice (and
+//!   as documented in DESIGN.md) we calibrate it once per `m` with a
+//!   seeded Monte-Carlo so that the estimator is unbiased, and cache the
+//!   result process-wide.
+//! * [`alpha_hyperloglog`] is the standard harmonic-mean constant of
+//!   Flajolet et al. 2007.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gamma::gamma;
+use crate::registers::MaxRegisters;
+use crate::rho::rho;
+
+/// `α_∞ = e^{−γ}·√2/2 ≈ 0.39701`, the large-`m` limit of `α_m`.
+pub const ALPHA_INFINITY: f64 = 0.397_011_808_010_995_5;
+
+/// The truncation ratio of super-LogLog (`θ₀` in the paper).
+pub const THETA_0: f64 = 0.7;
+
+/// Exact Durand–Flajolet LogLog constant `α_m` for `m ≥ 2`.
+///
+/// ```
+/// use dhs_sketch::alpha::{alpha_loglog, ALPHA_INFINITY};
+/// let a = alpha_loglog(1024);
+/// assert!((a - ALPHA_INFINITY).abs() < 1e-3);
+/// ```
+pub fn alpha_loglog(m: usize) -> f64 {
+    assert!(m >= 2, "LogLog needs at least 2 buckets");
+    let mf = m as f64;
+    let base = gamma(-1.0 / mf) * (1.0 - 2f64.powf(1.0 / mf)) / std::f64::consts::LN_2;
+    base.powf(-mf)
+}
+
+/// HyperLogLog's harmonic-mean constant `α^HLL_m`.
+pub fn alpha_hyperloglog(m: usize) -> f64 {
+    match m {
+        16 => 0.673,
+        32 => 0.697,
+        64 => 0.709,
+        _ => 0.7213 / (1.0 + 1.079 / m as f64),
+    }
+}
+
+/// Truncated-estimator constant `α̃_m` for super-LogLog with `θ₀ = 0.7`.
+///
+/// Calibrated once per `m` (seeded, deterministic) so that
+/// `E[α̃_m · m₀ · 2^{mean of the m₀ smallest registers}] = n` in the
+/// asymptotic regime `n ≫ m`, then cached.
+pub fn alpha_superloglog(m: usize) -> f64 {
+    static CACHE: OnceLock<Mutex<HashMap<usize, f64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&a) = cache.lock().expect("alpha cache poisoned").get(&m) {
+        return a;
+    }
+    let a = calibrate_alpha_superloglog(m, 0x005e_eda1_1ce5);
+    cache.lock().expect("alpha cache poisoned").insert(m, a);
+    a
+}
+
+/// Number of registers kept by the truncation rule.
+pub fn truncated_count(m: usize) -> usize {
+    (((m as f64) * THETA_0).floor() as usize).max(1)
+}
+
+/// The raw (un-normalized) truncated estimate `m₀ · 2^{mean of the m₀
+/// smallest registers}` used both by the estimator and the calibration.
+pub(crate) fn truncated_raw_estimate(regs: &MaxRegisters) -> f64 {
+    let m = regs.len();
+    let m0 = truncated_count(m);
+    let mut values: Vec<u8> = regs.iter().collect();
+    values.sort_unstable();
+    let sum: f64 = values[..m0].iter().map(|&v| f64::from(v)).sum();
+    (m0 as f64) * 2f64.powf(sum / m0 as f64)
+}
+
+/// Monte-Carlo calibration of `α̃_m`: simulate the sketch on `n` uniform
+/// hashes for several trials and several `n`, and return `n / E[raw]`.
+fn calibrate_alpha_superloglog(m: usize, seed: u64) -> f64 {
+    let c = m.trailing_zeros();
+    assert!(m.is_power_of_two(), "m must be a power of two");
+    let mut rng = StdRng::seed_from_u64(seed ^ (m as u64));
+    // Calibrate in the asymptotic regime n/m ∈ {64, 128}, 12 trials each.
+    let mut ratios = Vec::new();
+    for n_per_bucket in [64usize, 128] {
+        let n = n_per_bucket * m;
+        for _ in 0..12 {
+            let mut regs = MaxRegisters::new(m);
+            for _ in 0..n {
+                let h: u64 = rng.gen();
+                let bucket = (h & (m as u64 - 1)) as usize;
+                let rank = (rho(h >> c).min(63) + 1) as u8;
+                regs.observe(bucket, rank);
+            }
+            ratios.push(truncated_raw_estimate(&regs) / n as f64);
+        }
+    }
+    let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    1.0 / mean_ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_converges_to_limit() {
+        // Durand–Flajolet: α_m → 0.39701… from below rather quickly.
+        let a64 = alpha_loglog(64);
+        let a1024 = alpha_loglog(1024);
+        let a65536 = alpha_loglog(65_536);
+        assert!((a65536 - ALPHA_INFINITY).abs() < 1e-4, "{a65536}");
+        assert!((a1024 - ALPHA_INFINITY).abs() < 1e-3, "{a1024}");
+        assert!((a64 - ALPHA_INFINITY).abs() < 0.01, "{a64}");
+    }
+
+    #[test]
+    fn alpha_monotone_tail() {
+        // In the practically relevant range, α_m varies smoothly.
+        let mut prev = alpha_loglog(16);
+        for c in 5..14 {
+            let a = alpha_loglog(1 << c);
+            assert!((a - prev).abs() < 0.02);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn hll_alpha_known_values() {
+        assert!((alpha_hyperloglog(16) - 0.673).abs() < 1e-12);
+        assert!((alpha_hyperloglog(64) - 0.709).abs() < 1e-12);
+        let a = alpha_hyperloglog(4096);
+        assert!((0.70..0.73).contains(&a));
+    }
+
+    #[test]
+    fn truncated_count_floors() {
+        assert_eq!(truncated_count(10), 7);
+        assert_eq!(truncated_count(512), 358); // ⌊0.7·512⌋ = 358
+        assert_eq!(truncated_count(1), 1);
+    }
+
+    #[test]
+    fn alpha_tilde_cached_and_plausible() {
+        let a1 = alpha_superloglog(64);
+        let a2 = alpha_superloglog(64);
+        assert_eq!(a1, a2, "cache must return identical values");
+        // The truncated constant is smaller than 1 and larger than α_∞/2;
+        // empirically it sits around 0.4–0.9 for moderate m.
+        assert!((0.2..1.5).contains(&a1), "α̃_64 = {a1}");
+    }
+
+    #[test]
+    fn calibration_is_seed_deterministic() {
+        let a = calibrate_alpha_superloglog(32, 42);
+        let b = calibrate_alpha_superloglog(32, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,123 @@
+//! The common estimator interface shared by all sketch families.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors constructing a sketch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchConfigError {
+    /// The number of buckets must be a power of two (stochastic averaging
+    /// selects the bucket from the low bits of the hash).
+    BucketsNotPowerOfTwo(usize),
+    /// The number of buckets must be ≥ 1 and leave at least one hash bit
+    /// for the rank (so `m ≤ 2^63`).
+    BucketsOutOfRange(usize),
+    /// PCSA bitmap width must be in `1..=64`.
+    BitmapWidthOutOfRange(u32),
+}
+
+impl fmt::Display for SketchConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchConfigError::BucketsNotPowerOfTwo(m) => {
+                write!(f, "bucket count {m} is not a power of two")
+            }
+            SketchConfigError::BucketsOutOfRange(m) => {
+                write!(f, "bucket count {m} out of range (1..=2^32)")
+            }
+            SketchConfigError::BitmapWidthOutOfRange(bits) => {
+                write!(f, "bitmap width {bits} out of range (1..=64)")
+            }
+        }
+    }
+}
+
+impl Error for SketchConfigError {}
+
+/// Error merging two sketches with incompatible shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError {
+    /// Human-readable description of the mismatch.
+    pub reason: String,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot merge sketches: {}", self.reason)
+    }
+}
+
+impl Error for MergeError {}
+
+/// A duplicate-insensitive cardinality estimator over pre-hashed items.
+///
+/// Implementations are *mergeable*: merging the sketches of two multisets
+/// yields exactly the sketch of their union, which is what makes them
+/// distributable (DHS stores the sketch bits across a DHT; the tree and
+/// gossip baselines merge partial sketches).
+pub trait CardinalityEstimator {
+    /// Number of buckets (`m` in the literature). Always a power of two.
+    fn buckets(&self) -> usize;
+
+    /// Record one (pre-hashed) item. Idempotent for equal hashes.
+    fn insert_hash(&mut self, hash: u64);
+
+    /// Estimate the number of distinct items inserted so far.
+    fn estimate(&self) -> f64;
+
+    /// Merge `other` into `self`, so that `self` becomes the sketch of the
+    /// union of both input multisets.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError>;
+
+    /// True if no item has ever been inserted.
+    fn is_empty(&self) -> bool;
+}
+
+/// Validate a bucket count: power of two within `1..=2^32`.
+pub(crate) fn validate_buckets(m: usize) -> Result<u32, SketchConfigError> {
+    if m == 0 || m > (1usize << 32) {
+        return Err(SketchConfigError::BucketsOutOfRange(m));
+    }
+    if !m.is_power_of_two() {
+        return Err(SketchConfigError::BucketsNotPowerOfTwo(m));
+    }
+    Ok(m.trailing_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_powers_of_two() {
+        for c in 0..20u32 {
+            assert_eq!(validate_buckets(1usize << c), Ok(c));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_non_powers() {
+        assert!(matches!(
+            validate_buckets(3),
+            Err(SketchConfigError::BucketsNotPowerOfTwo(3))
+        ));
+        assert!(matches!(
+            validate_buckets(0),
+            Err(SketchConfigError::BucketsOutOfRange(0))
+        ));
+        assert!(matches!(
+            validate_buckets(1000),
+            Err(SketchConfigError::BucketsNotPowerOfTwo(1000))
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = SketchConfigError::BucketsNotPowerOfTwo(5);
+        assert!(e.to_string().contains('5'));
+        let e = MergeError {
+            reason: "m mismatch".into(),
+        };
+        assert!(e.to_string().contains("m mismatch"));
+    }
+}

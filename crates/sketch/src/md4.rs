@@ -1,0 +1,298 @@
+//! MD4 message digest (RFC 1320), implemented from scratch.
+//!
+//! The DHS paper's evaluation creates node and item identifiers with MD4,
+//! "selected due to its speed on 32-bit CPUs". MD4 is cryptographically
+//! broken, but hash sketches only need *pseudo-uniformity*, which MD4
+//! provides in abundance; we reimplement it here (rather than pulling a
+//! crypto crate) because the paper treats the hash as part of the system.
+//!
+//! The implementation is the straightforward three-round compression from
+//! the RFC, with incremental (streaming) input via [`Md4::update`].
+//!
+//! ```
+//! use dhs_sketch::Md4;
+//! assert_eq!(
+//!     Md4::hex_digest(b"abc"),
+//!     "a448017aaf21d8525fc10ae87aa6729d",
+//! );
+//! ```
+
+const A0: u32 = 0x6745_2301;
+const B0: u32 = 0xefcd_ab89;
+const C0: u32 = 0x98ba_dcfe;
+const D0: u32 = 0x1032_5476;
+
+#[inline]
+fn f(x: u32, y: u32, z: u32) -> u32 {
+    (x & y) | (!x & z)
+}
+
+#[inline]
+fn g(x: u32, y: u32, z: u32) -> u32 {
+    (x & y) | (x & z) | (y & z)
+}
+
+#[inline]
+fn h(x: u32, y: u32, z: u32) -> u32 {
+    x ^ y ^ z
+}
+
+/// Streaming MD4 hasher.
+///
+/// Feed bytes with [`update`](Md4::update), then call
+/// [`finalize`](Md4::finalize) for the 16-byte digest. For one-shot use,
+/// [`Md4::digest`] and [`Md4::hex_digest`] are provided.
+#[derive(Debug, Clone)]
+pub struct Md4 {
+    state: [u32; 4],
+    /// Bytes processed so far (for the length-in-bits trailer).
+    len: u64,
+    /// Partial block buffer.
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md4 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md4 {
+    /// Create a fresh hasher in the RFC 1320 initial state.
+    pub fn new() -> Self {
+        Md4 {
+            state: [A0, B0, C0, D0],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut arr = [0u8; 64];
+            arr.copy_from_slice(block);
+            self.compress(&arr);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Apply padding and return the 16-byte digest, consuming the hasher.
+    pub fn finalize(mut self) -> [u8; 16] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, then zeros until 56 mod 64, then 8-byte LE length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0x00]);
+        }
+        // `update` would also count these 8 bytes into `len`, but `len` is
+        // no longer read after this point, so feed the trailer directly.
+        let mut trailer = [0u8; 8];
+        trailer.copy_from_slice(&bit_len.to_le_bytes());
+        self.update(&trailer);
+        debug_assert_eq!(self.buf_len, 0);
+
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; 16] {
+        let mut hasher = Md4::new();
+        hasher.update(data);
+        hasher.finalize()
+    }
+
+    /// One-shot digest of `data`, as a lowercase hex string.
+    pub fn hex_digest(data: &[u8]) -> String {
+        let digest = Self::digest(data);
+        let mut s = String::with_capacity(32);
+        for byte in digest {
+            use std::fmt::Write as _;
+            let _ = write!(s, "{byte:02x}");
+        }
+        s
+    }
+
+    /// One-shot digest truncated to the first 8 bytes as a little-endian
+    /// `u64` — the form DHS uses for 64-bit identifiers.
+    pub fn digest_u64(data: &[u8]) -> u64 {
+        let digest = Self::digest(data);
+        u64::from_le_bytes(digest[..8].try_into().expect("8-byte slice"))
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut x = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            x[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+
+        // Round 1.
+        const S1: [u32; 4] = [3, 7, 11, 19];
+        for i in 0..16 {
+            let step = |a: u32, b: u32, c: u32, d: u32, k: usize, s: u32| {
+                a.wrapping_add(f(b, c, d)).wrapping_add(x[k]).rotate_left(s)
+            };
+            match i % 4 {
+                0 => a = step(a, b, c, d, i, S1[0]),
+                1 => d = step(d, a, b, c, i, S1[1]),
+                2 => c = step(c, d, a, b, i, S1[2]),
+                _ => b = step(b, c, d, a, i, S1[3]),
+            }
+        }
+
+        // Round 2.
+        const S2: [u32; 4] = [3, 5, 9, 13];
+        const K2: [usize; 16] = [0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15];
+        for (i, &k) in K2.iter().enumerate() {
+            let step = |a: u32, b: u32, c: u32, d: u32, s: u32| {
+                a.wrapping_add(g(b, c, d))
+                    .wrapping_add(x[k])
+                    .wrapping_add(0x5a82_7999)
+                    .rotate_left(s)
+            };
+            match i % 4 {
+                0 => a = step(a, b, c, d, S2[0]),
+                1 => d = step(d, a, b, c, S2[1]),
+                2 => c = step(c, d, a, b, S2[2]),
+                _ => b = step(b, c, d, a, S2[3]),
+            }
+        }
+
+        // Round 3.
+        const S3: [u32; 4] = [3, 9, 11, 15];
+        const K3: [usize; 16] = [0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15];
+        for (i, &k) in K3.iter().enumerate() {
+            let step = |a: u32, b: u32, c: u32, d: u32, s: u32| {
+                a.wrapping_add(h(b, c, d))
+                    .wrapping_add(x[k])
+                    .wrapping_add(0x6ed9_eba1)
+                    .rotate_left(s)
+            };
+            match i % 4 {
+                0 => a = step(a, b, c, d, S3[0]),
+                1 => d = step(d, a, b, c, S3[1]),
+                2 => c = step(c, d, a, b, S3[2]),
+                _ => b = step(b, c, d, a, S3[3]),
+            }
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full RFC 1320 appendix test suite.
+    #[test]
+    fn rfc1320_test_vectors() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", "31d6cfe0d16ae931b73c59d7e0c089c0"),
+            (b"a", "bde52cb31de33e46245e05fbdbd6fb24"),
+            (b"abc", "a448017aaf21d8525fc10ae87aa6729d"),
+            (b"message digest", "d9130a8164549fe818874806e1c7014b"),
+            (
+                b"abcdefghijklmnopqrstuvwxyz",
+                "d79e1c308aa5bbcdeea8ed63df412da9",
+            ),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "043f8582f241db351ce627e153e7f0e4",
+            ),
+            (
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "e33b4ddc9c38f2199c3e7b164fcc0536",
+            ),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(
+                Md4::hex_digest(input),
+                expected,
+                "MD4({:?})",
+                String::from_utf8_lossy(input)
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let oneshot = Md4::digest(&data);
+        // Feed in awkward chunk sizes that straddle block boundaries.
+        for chunk in [1usize, 3, 63, 64, 65, 127, 997] {
+            let mut hasher = Md4::new();
+            for piece in data.chunks(chunk) {
+                hasher.update(piece);
+            }
+            assert_eq!(hasher.finalize(), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn padding_boundary_lengths() {
+        // Lengths around the 56-byte padding boundary must all differ and
+        // round-trip deterministically.
+        let mut digests = Vec::new();
+        for len in 50..70 {
+            let data = vec![0xABu8; len];
+            let d1 = Md4::digest(&data);
+            let d2 = Md4::digest(&data);
+            assert_eq!(d1, d2);
+            digests.push(d1);
+        }
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), 20, "no collisions across lengths");
+    }
+
+    #[test]
+    fn digest_u64_is_le_prefix() {
+        let d = Md4::digest(b"abc");
+        let want = u64::from_le_bytes(d[..8].try_into().unwrap());
+        assert_eq!(Md4::digest_u64(b"abc"), want);
+    }
+
+    #[test]
+    fn digest_u64_looks_uniform() {
+        // Crude uniformity check: average of 4k hashed values should be
+        // near the middle of the u64 range (within 5%).
+        let n = 4096u64;
+        let mean = (0..n)
+            .map(|i| Md4::digest_u64(&i.to_le_bytes()) as f64 / n as f64)
+            .sum::<f64>();
+        let mid = (u64::MAX as f64) / 2.0;
+        assert!(
+            (mean - mid).abs() / mid < 0.05,
+            "mean {mean:e} vs mid {mid:e}"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the sketch crate's core invariants.
+
+use dhs_sketch::{
+    rho, rho_capped, CardinalityEstimator, HyperLogLog, ItemHasher, LogLog, Md4, Md4Hasher, Pcsa,
+    SplitMix64, SuperLogLog,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// ρ really is the least-significant-one position.
+    #[test]
+    fn rho_reconstructs_value_shape(y in 1u64..) {
+        let r = rho(y);
+        prop_assert!(r < 64);
+        prop_assert_eq!(y & ((1u64 << r).wrapping_sub(1)), 0, "low bits below rho are zero");
+        prop_assert_eq!((y >> r) & 1, 1, "bit at rho is one");
+    }
+
+    /// rho_capped never exceeds its width and agrees with rho below it.
+    #[test]
+    fn rho_capped_bounds(y in any::<u64>(), width in 1u32..=64) {
+        let r = rho_capped(y, width);
+        prop_assert!(r <= width);
+        if y != 0 && rho(y) < width {
+            prop_assert_eq!(r, rho(y));
+        }
+    }
+
+    /// MD4 streaming equals one-shot for arbitrary data and chunkings.
+    #[test]
+    fn md4_streaming_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..600),
+        chunk in 1usize..97,
+    ) {
+        let oneshot = Md4::digest(&data);
+        let mut hasher = Md4::new();
+        for piece in data.chunks(chunk) {
+            hasher.update(piece);
+        }
+        prop_assert_eq!(hasher.finalize(), oneshot);
+    }
+
+    /// Hashers are deterministic and length-sensitive.
+    #[test]
+    fn hashers_deterministic(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let sm = SplitMix64::default();
+        prop_assert_eq!(sm.hash_bytes(&data), sm.hash_bytes(&data));
+        let md4 = Md4Hasher;
+        prop_assert_eq!(md4.hash_bytes(&data), md4.hash_bytes(&data));
+    }
+
+    /// Insertion order never matters for any sketch.
+    #[test]
+    fn insertion_order_irrelevant(mut items in prop::collection::vec(any::<u64>(), 0..300)) {
+        let forward = {
+            let mut s = Pcsa::new(32).unwrap();
+            for &x in &items {
+                s.insert_hash(x);
+            }
+            s
+        };
+        items.reverse();
+        let backward = {
+            let mut s = Pcsa::new(32).unwrap();
+            for &x in &items {
+                s.insert_hash(x);
+            }
+            s
+        };
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Estimates are monotone under stream extension (supersets can only
+    /// raise register values, never lower the estimate) for the LogLog
+    /// family without truncation; with truncation/HLL the estimate is at
+    /// least not degraded below the subset by more than numeric noise.
+    #[test]
+    fn loglog_estimate_monotone(
+        base in prop::collection::vec(any::<u64>(), 1..200),
+        extra in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut small = LogLog::new(32).unwrap();
+        for &x in &base {
+            small.insert_hash(x);
+        }
+        let mut big = small.clone();
+        for &x in &extra {
+            big.insert_hash(x);
+        }
+        prop_assert!(big.estimate() >= small.estimate() - 1e-9);
+    }
+
+    /// Every sketch family reports is_empty exactly when nothing was
+    /// inserted.
+    #[test]
+    fn emptiness_is_exact(items in prop::collection::vec(any::<u64>(), 0..20)) {
+        macro_rules! check {
+            ($s:expr) => {{
+                let mut s = $s;
+                prop_assert!(s.is_empty());
+                for &x in &items {
+                    s.insert_hash(x);
+                }
+                prop_assert_eq!(s.is_empty(), items.is_empty());
+            }};
+        }
+        check!(Pcsa::new(16).unwrap());
+        check!(LogLog::new(16).unwrap());
+        check!(SuperLogLog::new(16).unwrap());
+        check!(HyperLogLog::new(16).unwrap());
+    }
+
+    /// Merging an empty sketch is the identity.
+    #[test]
+    fn merge_with_empty_is_identity(items in prop::collection::vec(any::<u64>(), 0..200)) {
+        let mut s = SuperLogLog::new(64).unwrap();
+        for &x in &items {
+            s.insert_hash(x);
+        }
+        let before = s.clone();
+        let empty = SuperLogLog::new(64).unwrap();
+        s.merge(&empty).unwrap();
+        prop_assert_eq!(s, before);
+    }
+
+    /// HyperLogLog linear counting: for tiny exact-distinct streams the
+    /// estimate is close to the true distinct count.
+    #[test]
+    fn hll_small_range_accuracy(distinct in 1u64..30) {
+        let hasher = SplitMix64::default();
+        let mut s = HyperLogLog::new(1024).unwrap();
+        for i in 0..distinct {
+            s.insert_hash(hasher.hash_u64(i));
+            s.insert_hash(hasher.hash_u64(i));
+        }
+        let err = (s.estimate() - distinct as f64).abs();
+        prop_assert!(err <= (distinct as f64 * 0.3).max(2.0), "est {} vs {distinct}", s.estimate());
+    }
+}

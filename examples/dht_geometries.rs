@@ -1,0 +1,71 @@
+//! One counting application, two DHT geometries.
+//!
+//! The paper claims DHS is "DHT-agnostic". This example writes the
+//! application once, generic over the `Overlay` trait, and runs it over
+//! a Chord ring (successor ownership, finger routing) and a Kademlia
+//! overlay (XOR ownership, prefix routing).
+//!
+//! ```sh
+//! cargo run --release --example dht_geometries
+//! ```
+
+use counting_at_large::dhs::{Dhs, DhsConfig};
+use counting_at_large::dht::cost::CostLedger;
+use counting_at_large::dht::kademlia::Kademlia;
+use counting_at_large::dht::overlay::Overlay;
+use counting_at_large::dht::ring::{Ring, RingConfig};
+use counting_at_large::sketch::{ItemHasher, SplitMix64};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The application: record `n` items, then estimate from a random node.
+/// Written once; knows nothing about the overlay's geometry.
+fn census<O: Overlay>(overlay: &mut O, n: u64, seed: u64) -> (f64, u64, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dhs = Dhs::new(DhsConfig {
+        m: 256,
+        ..DhsConfig::default()
+    })
+    .expect("valid configuration");
+    let hasher = SplitMix64::default();
+    let keys: Vec<u64> = (0..n).map(|i| hasher.hash_u64(i)).collect();
+    let mut insert_cost = CostLedger::new();
+    for chunk in keys.chunks(512) {
+        let origin = overlay.any_node(&mut rng);
+        dhs.bulk_insert(overlay, 1, chunk, origin, &mut rng, &mut insert_cost);
+    }
+    let querier = overlay.any_node(&mut rng);
+    let mut query_cost = CostLedger::new();
+    let result = dhs.count(overlay, 1, querier, &mut rng, &mut query_cost);
+    (result.estimate, query_cost.hops(), query_cost.bytes())
+}
+
+fn main() {
+    let n = 400_000u64;
+    let nodes = 512;
+    println!("counting {n} distinct items on {nodes} nodes, same code, two geometries:\n");
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut chord = Ring::build(nodes, RingConfig::default(), &mut rng);
+    let (est, hops, bytes) = census(&mut chord, n, 42);
+    println!(
+        "Chord    : estimate {est:8.0} ({:+.1}%), query {hops} hops, {:.1} kB",
+        (est - n as f64) / n as f64 * 100.0,
+        bytes as f64 / 1024.0
+    );
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut kademlia = Kademlia::build(nodes, RingConfig::default(), &mut rng);
+    let (est, hops, bytes) = census(&mut kademlia, n, 42);
+    println!(
+        "Kademlia : estimate {est:8.0} ({:+.1}%), query {hops} hops, {:.1} kB",
+        (est - n as f64) / n as f64 * 100.0,
+        bytes as f64 / 1024.0
+    );
+
+    println!(
+        "\nsame estimator math, same probe discipline — only placement and routing\n\
+         differ. (In sparse regimes Kademlia needs a larger lim: XOR ownership\n\
+         scatters tuples relative to the numeric neighbor walk of Alg. 1.)"
+    );
+}

@@ -1,0 +1,30 @@
+//! # counting-at-large — Distributed Hash Sketches
+//!
+//! Facade crate for the reproduction of *Counting at Large: Efficient
+//! Cardinality Estimation in Internet-Scale Data Networks* (Ntarmos,
+//! Triantafillou & Weikum, ICDE 2006).
+//!
+//! This crate re-exports the workspace's public API so examples and
+//! integration tests can depend on a single crate:
+//!
+//! * [`sketch`] — hash sketches (PCSA, LogLog, super-LogLog, HyperLogLog)
+//!   plus the hashing substrate (MD4, SplitMix64).
+//! * [`dht`] — a deterministic Chord-like DHT simulator with exact
+//!   hop/byte cost accounting.
+//! * [`dhs`] — Distributed Hash Sketches: the paper's contribution
+//!   (interval mapping, insertion, the Alg. 1 counting procedure,
+//!   soft-state maintenance, multi-metric counting).
+//! * [`histogram`] — equi-width histograms over DHS, selectivity
+//!   estimation and join-order optimization (paper §4.3/§5).
+//! * [`baselines`] — the related-work counting protocols the paper
+//!   argues against (single-node counters, gossip, tree aggregation,
+//!   sampling), implemented for quantitative comparison.
+//! * [`workload`] — Zipf-distributed relations and multiset generators
+//!   matching the paper's evaluation setup.
+
+pub use dhs_baselines as baselines;
+pub use dhs_core as dhs;
+pub use dhs_dht as dht;
+pub use dhs_histogram as histogram;
+pub use dhs_sketch as sketch;
+pub use dhs_workload as workload;

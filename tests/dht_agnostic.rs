@@ -1,0 +1,118 @@
+//! The paper's "DHT-agnostic" claim, tested: the *same* DHS code counts
+//! over a Chord ring and over a Kademlia XOR-metric overlay.
+
+use counting_at_large::dhs::{Dhs, DhsConfig, EstimatorKind};
+use counting_at_large::dht::cost::CostLedger;
+use counting_at_large::dht::kademlia::Kademlia;
+use counting_at_large::dht::overlay::Overlay;
+use counting_at_large::dht::ring::{Ring, RingConfig};
+use counting_at_large::sketch::{ItemHasher, SplitMix64};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn populate<O: Overlay>(dhs: &Dhs, overlay: &mut O, n: u64, rng: &mut StdRng) {
+    let hasher = SplitMix64::default();
+    let keys: Vec<u64> = (0..n).map(|i| hasher.hash_u64(i)).collect();
+    for chunk in keys.chunks(256) {
+        let origin = overlay.any_node(rng);
+        dhs.bulk_insert(overlay, 1, chunk, origin, rng, &mut CostLedger::new());
+    }
+}
+
+fn count_err<O: Overlay>(dhs: &Dhs, overlay: &O, n: u64, rng: &mut StdRng) -> (f64, u64) {
+    let origin = overlay.any_node(rng);
+    let mut ledger = CostLedger::new();
+    let result = dhs.count(overlay, 1, origin, rng, &mut ledger);
+    (result.relative_error(n), result.stats.hops)
+}
+
+#[test]
+fn dhs_counts_over_kademlia() {
+    let n = 60_000u64;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut overlay = Kademlia::build(128, RingConfig::default(), &mut rng);
+    let dhs = Dhs::new(DhsConfig {
+        m: 64,
+        ..DhsConfig::default()
+    })
+    .unwrap();
+    populate(&dhs, &mut overlay, n, &mut rng);
+    let (err, hops) = count_err(&dhs, &overlay, n, &mut rng);
+    assert!(err.abs() < 0.5, "Kademlia DHS error {err}");
+    assert!(hops > 0 && hops < 2_000);
+}
+
+#[test]
+fn same_code_same_accuracy_on_both_geometries() {
+    // Identical workload, identical DHS configuration, two overlays; the
+    // accuracy must be comparable (the geometry changes placement and
+    // routing, not the estimator math).
+    let n = 80_000u64;
+    let dhs = Dhs::new(DhsConfig {
+        m: 128,
+        ..DhsConfig::default()
+    })
+    .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut chord = Ring::build(256, RingConfig::default(), &mut rng);
+    populate(&dhs, &mut chord, n, &mut rng);
+    // Average over a few counting trials for stability.
+    let mut chord_err = 0.0;
+    for _ in 0..5 {
+        chord_err += count_err(&dhs, &chord, n, &mut rng).0.abs();
+    }
+    chord_err /= 5.0;
+
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut kad = Kademlia::build(256, RingConfig::default(), &mut rng);
+    populate(&dhs, &mut kad, n, &mut rng);
+    let mut kad_err = 0.0;
+    for _ in 0..5 {
+        kad_err += count_err(&dhs, &kad, n, &mut rng).0.abs();
+    }
+    kad_err /= 5.0;
+
+    assert!(chord_err < 0.35, "chord {chord_err}");
+    assert!(kad_err < 0.35, "kademlia {kad_err}");
+    assert!(
+        (chord_err - kad_err).abs() < 0.25,
+        "geometries should agree: chord {chord_err} vs kademlia {kad_err}"
+    );
+}
+
+#[test]
+fn pcsa_works_over_kademlia_too() {
+    let n = 50_000u64;
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut overlay = Kademlia::build(128, RingConfig::default(), &mut rng);
+    let dhs = Dhs::new(DhsConfig {
+        m: 64,
+        estimator: EstimatorKind::Pcsa,
+        ..DhsConfig::default()
+    })
+    .unwrap();
+    populate(&dhs, &mut overlay, n, &mut rng);
+    let (err, _) = count_err(&dhs, &overlay, n, &mut rng);
+    assert!(err.abs() < 0.5, "Kademlia DHS-PCSA error {err}");
+}
+
+#[test]
+fn kademlia_failures_degrade_gracefully() {
+    let n = 60_000u64;
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut overlay = Kademlia::build(128, RingConfig::default(), &mut rng);
+    let dhs = Dhs::new(DhsConfig {
+        m: 64,
+        replication: 3,
+        ..DhsConfig::default()
+    })
+    .unwrap();
+    populate(&dhs, &mut overlay, n, &mut rng);
+    overlay.ring_mut().fail_random(0.2, &mut rng);
+    let (err, _) = count_err(&dhs, &overlay, n, &mut rng);
+    assert!(
+        err.abs() < 0.6,
+        "replicated Kademlia DHS under churn: {err}"
+    );
+}

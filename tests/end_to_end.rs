@@ -1,0 +1,212 @@
+//! Cross-crate end-to-end tests: the full DHS pipeline through the
+//! public facade API.
+
+use counting_at_large::dhs::{Dhs, DhsConfig, EstimatorKind};
+use counting_at_large::dht::cost::CostLedger;
+use counting_at_large::dht::ring::{Ring, RingConfig};
+use counting_at_large::sketch::{ItemHasher, SplitMix64};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build(nodes: usize, seed: u64) -> (Ring, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ring = Ring::build(nodes, RingConfig::default(), &mut rng);
+    (ring, rng)
+}
+
+fn populate(dhs: &Dhs, ring: &mut Ring, metric: u32, n: u64, rng: &mut StdRng) {
+    // Many writers, each bulk-inserting a batch — the paper's model. A
+    // single writer would concentrate each bit position's tuples on one
+    // node per round, defeating the probe redundancy the analysis
+    // assumes.
+    let hasher = SplitMix64::default();
+    let keys: Vec<u64> = (0..n).map(|i| hasher.hash_u64(i)).collect();
+    let origins: Vec<u64> = ring.alive_ids().to_vec();
+    let mut ledger = CostLedger::new();
+    for (chunk, &origin) in keys.chunks(256).zip(origins.iter().cycle()) {
+        dhs.bulk_insert(ring, metric, chunk, origin, rng, &mut ledger);
+    }
+}
+
+#[test]
+fn estimates_within_analytic_bounds_both_estimators() {
+    // Dense regime; errors should sit within ~3 standard errors plus a
+    // small distribution overhead.
+    let n = 120_000u64;
+    for (estimator, sigma) in [
+        (EstimatorKind::SuperLogLog, 1.05),
+        (EstimatorKind::Pcsa, 0.78),
+    ] {
+        let (mut ring, mut rng) = build(128, 1);
+        let m = 128usize;
+        let dhs = Dhs::new(DhsConfig {
+            m,
+            estimator,
+            ..DhsConfig::default()
+        })
+        .unwrap();
+        populate(&dhs, &mut ring, 1, n, &mut rng);
+        let origin = ring.alive_ids()[5];
+        let mut ledger = CostLedger::new();
+        let result = dhs.count(&ring, 1, origin, &mut rng, &mut ledger);
+        let bound = 3.5 * sigma / (m as f64).sqrt() + 0.05;
+        let err = result.relative_error(n).abs();
+        assert!(
+            err < bound,
+            "{estimator}: err {err:.3} vs bound {bound:.3} (estimate {})",
+            result.estimate
+        );
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let (mut ring, mut rng) = build(96, 7);
+        let dhs = Dhs::new(DhsConfig {
+            m: 64,
+            ..DhsConfig::default()
+        })
+        .unwrap();
+        populate(&dhs, &mut ring, 1, 20_000, &mut rng);
+        let origin = ring.alive_ids()[0];
+        let mut ledger = CostLedger::new();
+        let result = dhs.count(&ring, 1, origin, &mut rng, &mut ledger);
+        (result.estimate, result.stats, ledger.hops(), ledger.bytes())
+    };
+    assert_eq!(run(), run(), "same seed must give identical runs");
+}
+
+#[test]
+fn duplicate_streams_estimate_like_distinct_streams() {
+    // The headline property: inserting every item 4 times from varying
+    // origins changes nothing about what the count *means*.
+    let (mut ring, mut rng) = build(96, 3);
+    let dhs = Dhs::new(DhsConfig {
+        m: 64,
+        ..DhsConfig::default()
+    })
+    .unwrap();
+    let hasher = SplitMix64::default();
+    let n = 30_000u64;
+    let mut ledger = CostLedger::new();
+    for i in 0..n {
+        for _ in 0..4 {
+            let origin = ring.random_alive(&mut rng);
+            dhs.insert(
+                &mut ring,
+                1,
+                hasher.hash_u64(i),
+                origin,
+                &mut rng,
+                &mut ledger,
+            );
+        }
+    }
+    let origin = ring.alive_ids()[0];
+    let result = dhs.count(&ring, 1, origin, &mut rng, &mut CostLedger::new());
+    let err = result.relative_error(n).abs();
+    assert!(err < 0.5, "err {err} (estimate {})", result.estimate);
+}
+
+#[test]
+fn access_load_is_balanced_across_nodes() {
+    // The paper's constraint (iii): insertion traffic spreads evenly.
+    let (mut ring, mut rng) = build(128, 5);
+    let dhs = Dhs::new(DhsConfig {
+        m: 64,
+        ..DhsConfig::default()
+    })
+    .unwrap();
+    let hasher = SplitMix64::default();
+    let mut ledger = CostLedger::new();
+    for i in 0..50_000u64 {
+        let origin = ring.random_alive(&mut rng);
+        dhs.insert(
+            &mut ring,
+            1,
+            hasher.hash_u64(i),
+            origin,
+            &mut rng,
+            &mut ledger,
+        );
+    }
+    let load = ledger.load_summary();
+    assert!(
+        load.gini < 0.45,
+        "insertion access load should be balanced, gini = {}",
+        load.gini
+    );
+    let storage = ring.storage_summary();
+    assert!(
+        storage.gini < 0.45,
+        "storage load should be balanced, gini = {}",
+        storage.gini
+    );
+}
+
+#[test]
+fn counting_hops_grow_logarithmically_with_network() {
+    let n_items = 60_000u64;
+    let mut hops = Vec::new();
+    for nodes in [128usize, 512, 2048] {
+        let (mut ring, mut rng) = build(nodes, 11);
+        let dhs = Dhs::new(DhsConfig {
+            m: 64,
+            ..DhsConfig::default()
+        })
+        .unwrap();
+        populate(&dhs, &mut ring, 1, n_items, &mut rng);
+        let origin = ring.alive_ids()[0];
+        let result = dhs.count(&ring, 1, origin, &mut rng, &mut CostLedger::new());
+        hops.push(result.stats.hops as f64);
+    }
+    // 16x more nodes must cost far less than 16x more hops.
+    assert!(
+        hops[2] / hops[0] < 3.0,
+        "hops {hops:?} should grow ~logarithmically"
+    );
+}
+
+#[test]
+fn multi_metric_counting_shares_the_scan() {
+    let (mut ring, mut rng) = build(128, 13);
+    let dhs = Dhs::new(DhsConfig {
+        m: 32,
+        ..DhsConfig::default()
+    })
+    .unwrap();
+    for metric in 1..=10u32 {
+        populate(&dhs, &mut ring, metric, 15_000, &mut rng);
+    }
+    let origin = ring.alive_ids()[0];
+    let single = dhs.count(&ring, 1, origin, &mut rng, &mut CostLedger::new());
+    let metrics: Vec<u32> = (1..=10).collect();
+    let multi = dhs.count_multi(&ring, &metrics, origin, &mut rng, &mut CostLedger::new());
+    assert_eq!(multi.len(), 10);
+    let ratio = multi[0].stats.hops as f64 / single.stats.hops as f64;
+    assert!(ratio < 2.0, "10-metric scan cost {ratio}x a single scan");
+    for r in &multi {
+        let err = r.relative_error(15_000).abs();
+        assert!(err < 0.6, "metric {} err {err}", r.metric);
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The facade must expose every subsystem (compile-time check mostly).
+    use counting_at_large::baselines::assignment::ItemAssignment;
+    use counting_at_large::histogram::BucketSpec;
+    use counting_at_large::sketch::{CardinalityEstimator, HyperLogLog};
+    use counting_at_large::workload::Zipf;
+
+    let z = Zipf::new(10, 0.7);
+    assert_eq!(z.domain(), 10);
+    let spec = BucketSpec::new(0, 9, 2, 0);
+    assert_eq!(spec.width(), 5);
+    let mut hll = HyperLogLog::new(16).unwrap();
+    hll.insert_hash(42);
+    assert!(hll.estimate() > 0.0);
+    let a = ItemAssignment::default();
+    assert_eq!(a.total_items(), 0);
+}

@@ -1,0 +1,174 @@
+//! Robustness integration tests: failures, replication, churn, TTL.
+
+use counting_at_large::dhs::{Dhs, DhsConfig};
+use counting_at_large::dht::cost::CostLedger;
+use counting_at_large::dht::ring::{Ring, RingConfig};
+use counting_at_large::sketch::{ItemHasher, SplitMix64};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(nodes: usize, seed: u64, cfg: DhsConfig, n: u64) -> (Dhs, Ring, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ring = Ring::build(nodes, RingConfig::default(), &mut rng);
+    let dhs = Dhs::new(cfg).unwrap();
+    let hasher = SplitMix64::default();
+    let keys: Vec<u64> = (0..n).map(|i| hasher.hash_u64(i)).collect();
+    // Spread the insertions over many origins (batches per node).
+    let origins: Vec<u64> = ring.alive_ids().to_vec();
+    let mut ledger = CostLedger::new();
+    for (chunk, origin) in keys.chunks(512).zip(origins.iter().cycle()) {
+        dhs.bulk_insert(&mut ring, 1, chunk, *origin, &mut rng, &mut ledger);
+    }
+    (dhs, ring, rng)
+}
+
+fn count_err(dhs: &Dhs, ring: &Ring, actual: u64, rng: &mut StdRng) -> f64 {
+    let origin = ring.random_alive(rng);
+    let result = dhs.count(ring, 1, origin, rng, &mut CostLedger::new());
+    result.relative_error(actual)
+}
+
+#[test]
+fn replication_beats_failures() {
+    let n = 60_000u64;
+    let mut unreplicated_err = 0.0;
+    let mut replicated_err = 0.0;
+    for (replication, err_out) in [(1u32, &mut unreplicated_err), (4, &mut replicated_err)] {
+        let cfg = DhsConfig {
+            m: 64,
+            replication,
+            ..DhsConfig::default()
+        };
+        let (dhs, ring, _) = setup(128, 21, cfg, n);
+        // Average over several independent failure patterns and counting
+        // trials: a single pattern may happen to spare (or hit) the few
+        // decisive high-rank holders in both configurations alike.
+        let mut total = 0.0;
+        let rounds = 10;
+        for round in 0..rounds {
+            let mut round_rng = StdRng::seed_from_u64(1000 + round);
+            let mut failed_ring = ring.clone();
+            failed_ring.fail_random(0.25, &mut round_rng);
+            total += count_err(&dhs, &failed_ring, n, &mut round_rng).abs();
+        }
+        *err_out = total / rounds as f64;
+    }
+    assert!(
+        replicated_err < unreplicated_err,
+        "R=4 err {replicated_err} should beat R=1 err {unreplicated_err} at 25% failures"
+    );
+    assert!(replicated_err < 0.35, "replicated err {replicated_err}");
+}
+
+#[test]
+fn graceful_churn_preserves_counts() {
+    let n = 40_000u64;
+    let cfg = DhsConfig {
+        m: 64,
+        ..DhsConfig::default()
+    };
+    let (dhs, mut ring, mut rng) = setup(128, 23, cfg, n);
+    let before = count_err(&dhs, &ring, n, &mut rng).abs();
+
+    // A quarter of the nodes leave gracefully (handing data off), and
+    // some new nodes join (taking over their ranges).
+    for _ in 0..32 {
+        let leaver = ring.random_alive(&mut rng);
+        ring.graceful_leave(leaver);
+    }
+    use rand::Rng;
+    for _ in 0..32 {
+        loop {
+            let id: u64 = rng.gen();
+            if ring.store_of(id).is_none() {
+                ring.join(id);
+                break;
+            }
+        }
+    }
+    let after = count_err(&dhs, &ring, n, &mut rng).abs();
+    assert!(
+        after < before + 0.15,
+        "graceful churn degraded count: before {before}, after {after}"
+    );
+}
+
+#[test]
+fn crash_then_revive_restores_data() {
+    let n = 30_000u64;
+    let cfg = DhsConfig {
+        m: 32,
+        ..DhsConfig::default()
+    };
+    let (dhs, mut ring, mut rng) = setup(96, 29, cfg, n);
+    let baseline = count_err(&dhs, &ring, n, &mut rng).abs();
+
+    let victims: Vec<u64> = ring.alive_ids().iter().copied().step_by(3).collect();
+    for &v in &victims {
+        ring.fail_node(v);
+    }
+    for &v in &victims {
+        ring.revive_node(v);
+    }
+    let restored = count_err(&dhs, &ring, n, &mut rng).abs();
+    assert!(
+        (restored - baseline).abs() < 0.12,
+        "revive should restore the estimate: baseline {baseline}, restored {restored}"
+    );
+}
+
+#[test]
+fn ttl_expiry_shrinks_estimates_and_refresh_prevents_it() {
+    let n = 20_000u64;
+    let cfg = DhsConfig {
+        m: 32,
+        ttl: 100,
+        ..DhsConfig::default()
+    };
+    let (dhs, mut ring, mut rng) = setup(96, 31, cfg, n);
+    let fresh = count_err(&dhs, &ring, n, &mut rng).abs();
+    assert!(fresh < 0.5);
+
+    // Refresh half the items at t=80, expire the rest at t=100.
+    let hasher = SplitMix64::default();
+    let kept: Vec<u64> = (0..n / 2).map(|i| hasher.hash_u64(i)).collect();
+    ring.advance_time(80);
+    let origin = ring.alive_ids()[0];
+    dhs.bulk_insert(
+        &mut ring,
+        1,
+        &kept,
+        origin,
+        &mut rng,
+        &mut CostLedger::new(),
+    );
+    ring.advance_time(30); // t = 110: originals expired, refreshed alive
+    ring.sweep_all();
+
+    let origin = ring.random_alive(&mut rng);
+    let result = dhs.count(&ring, 1, origin, &mut rng, &mut CostLedger::new());
+    let err_vs_half = (result.estimate - (n / 2) as f64).abs() / (n / 2) as f64;
+    assert!(
+        err_vs_half < 0.5,
+        "estimate {} should track the {} refreshed items",
+        result.estimate,
+        n / 2
+    );
+}
+
+#[test]
+fn bit_shift_configs_count_correctly() {
+    // §3.5: with b disregarded bits, estimates must still be right for
+    // cardinalities ≫ 2^b.
+    let n = 50_000u64;
+    for b in [0u32, 3, 6] {
+        let cfg = DhsConfig {
+            m: 64,
+            bit_shift: b,
+            ..DhsConfig::default()
+        };
+        let (dhs, ring, mut rng) = setup(128, 37, cfg, n);
+        let err = count_err(&dhs, &ring, n, &mut rng).abs();
+        assert!(err < 0.5, "b = {b}: err {err}");
+    }
+}

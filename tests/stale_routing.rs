@@ -1,0 +1,129 @@
+//! DHS counting over a churned-but-unstabilized overlay: the `StaleView`
+//! read-only overlay routes with materialized finger tables, so the
+//! whole end-to-end effect of Chord staleness on DHS estimates is
+//! measurable.
+
+use counting_at_large::dhs::{Dhs, DhsConfig};
+use counting_at_large::dht::cost::CostLedger;
+use counting_at_large::dht::fingers::{FingerTables, StaleView};
+use counting_at_large::dht::ring::{Ring, RingConfig};
+use counting_at_large::sketch::{ItemHasher, SplitMix64};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn populate(dhs: &Dhs, ring: &mut Ring, n: u64, rng: &mut StdRng) {
+    let hasher = SplitMix64::default();
+    let keys: Vec<u64> = (0..n).map(|i| hasher.hash_u64(i)).collect();
+    let origins = ring.alive_ids().to_vec();
+    for (chunk, &origin) in keys.chunks(512).zip(origins.iter().cycle()) {
+        dhs.bulk_insert(ring, 1, chunk, origin, rng, &mut CostLedger::new());
+    }
+}
+
+#[test]
+fn counting_through_fresh_tables_matches_converged_routing() {
+    let n = 60_000u64;
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut ring = Ring::build(128, RingConfig::default(), &mut rng);
+    let dhs = Dhs::new(DhsConfig {
+        m: 64,
+        ..DhsConfig::default()
+    })
+    .unwrap();
+    populate(&dhs, &mut ring, n, &mut rng);
+    let tables = FingerTables::build(&ring);
+    let view = StaleView::new(&ring, &tables);
+    let origin = ring.alive_ids()[0];
+
+    let mut rng_a = StdRng::seed_from_u64(9);
+    let direct = dhs.count(&ring, 1, origin, &mut rng_a, &mut CostLedger::new());
+    let mut rng_b = StdRng::seed_from_u64(9);
+    let via_view = dhs.count(&view, 1, origin, &mut rng_b, &mut CostLedger::new());
+    // Fresh tables route identically to the converged ring.
+    assert_eq!(direct.estimate, via_view.estimate);
+    assert_eq!(direct.registers, via_view.registers);
+}
+
+#[test]
+fn counting_survives_moderate_staleness() {
+    // Churn the overlay after building tables; count through the stale
+    // view. Successor lists keep most lookups correct, so the estimate
+    // should stay usable (if degraded) — and stabilization restores it.
+    let n = 80_000u64;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut ring = Ring::build(256, RingConfig::default(), &mut rng);
+    let dhs = Dhs::new(DhsConfig {
+        m: 64,
+        ..DhsConfig::default()
+    })
+    .unwrap();
+    populate(&dhs, &mut ring, n, &mut rng);
+    let mut tables = FingerTables::build(&ring);
+
+    // 10% graceful churn: leaves hand data off (so data survives), joins
+    // take over ranges; only the *routing tables* go stale.
+    for _ in 0..25 {
+        let leaver = ring.random_alive(&mut rng);
+        ring.graceful_leave(leaver);
+        loop {
+            let id: u64 = rng.gen();
+            if ring.store_of(id).is_none() {
+                ring.join(id);
+                break;
+            }
+        }
+    }
+    tables.admit_joined(&ring, &mut CostLedger::new());
+
+    let origin = ring.random_alive(&mut rng);
+    let view = StaleView::new(&ring, &tables);
+    let stale = dhs.count(&view, 1, origin, &mut rng, &mut CostLedger::new());
+    let stale_err = stale.relative_error(n).abs();
+    assert!(
+        stale_err < 0.6,
+        "stale-tables estimate unusable: {} ({stale_err})",
+        stale.estimate
+    );
+
+    // Full stabilization: back to converged-quality counting.
+    tables.stabilize_fraction(&ring, 1.0, &mut rng, &mut CostLedger::new());
+    let repaired_view = StaleView::new(&ring, &tables);
+    let repaired = dhs.count(&repaired_view, 1, origin, &mut rng, &mut CostLedger::new());
+    let repaired_err = repaired.relative_error(n).abs();
+    assert!(
+        repaired_err <= stale_err + 0.05,
+        "stabilization should not hurt: {repaired_err} vs {stale_err}"
+    );
+    assert!(repaired_err < 0.45, "repaired err {repaired_err}");
+}
+
+#[test]
+fn stale_routing_costs_more_hops() {
+    let n = 40_000u64;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut ring = Ring::build(256, RingConfig::default(), &mut rng);
+    let dhs = Dhs::new(DhsConfig {
+        m: 32,
+        ..DhsConfig::default()
+    })
+    .unwrap();
+    populate(&dhs, &mut ring, n, &mut rng);
+    let tables = FingerTables::build(&ring);
+    // Fail-stop churn *after* the snapshot: dead fingers cost ping hops.
+    ring.fail_random(0.2, &mut rng);
+
+    let origin = ring.random_alive(&mut rng);
+    let view = StaleView::new(&ring, &tables);
+    let mut stale_ledger = CostLedger::new();
+    let mut rng_a = StdRng::seed_from_u64(3);
+    let _ = dhs.count(&view, 1, origin, &mut rng_a, &mut stale_ledger);
+    let mut fresh_ledger = CostLedger::new();
+    let mut rng_b = StdRng::seed_from_u64(3);
+    let _ = dhs.count(&ring, 1, origin, &mut rng_b, &mut fresh_ledger);
+    assert!(
+        stale_ledger.hops() >= fresh_ledger.hops(),
+        "stale {} < fresh {}",
+        stale_ledger.hops(),
+        fresh_ledger.hops()
+    );
+}
