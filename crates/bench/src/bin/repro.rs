@@ -34,6 +34,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("ablation-dynamics", experiments::ablation_dynamics),
     ("baselines", experiments::baselines),
     ("geometry", experiments::geometry),
+    ("network", experiments::network),
 ];
 
 fn usage() -> String {

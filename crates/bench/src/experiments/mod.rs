@@ -6,6 +6,7 @@ mod baselines_cmp;
 mod geometry;
 mod hist;
 mod insertion_costs;
+mod network;
 mod queryopt;
 mod scalability_exp;
 mod table2_exp;
@@ -19,6 +20,7 @@ pub use baselines_cmp::baselines;
 pub use geometry::geometry;
 pub use hist::{hist_accuracy, table3};
 pub use insertion_costs::insertion;
+pub use network::network;
 pub use queryopt::queryopt;
 pub use scalability_exp::scalability;
 pub use table2_exp::table2;

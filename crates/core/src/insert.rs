@@ -25,6 +25,7 @@ use dhs_sketch::rho::{lsb, rho};
 
 use crate::config::{ConfigError, DhsConfig};
 use crate::intervals::interval_for_rank;
+use crate::transport::{with_retry, DirectTransport, MessageKind, Transport};
 use crate::tuple::{DhsTuple, MetricId};
 
 /// The DHS protocol handle: a validated configuration plus the insertion
@@ -77,6 +78,32 @@ impl Dhs {
         rng: &mut impl Rng,
         ledger: &mut CostLedger,
     ) -> bool {
+        self.insert_via(
+            ring,
+            &mut DirectTransport,
+            metric,
+            item_key,
+            origin,
+            rng,
+            ledger,
+        )
+    }
+
+    /// [`Self::insert`] over an explicit [`Transport`]: message delivery
+    /// (latency, loss, retries) follows the transport; a store whose
+    /// every attempt times out is silently lost, exactly like a dropped
+    /// soft-state refresh in the paper's failure model (§3.5).
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_via<O: Overlay, T: Transport>(
+        &self,
+        ring: &mut O,
+        transport: &mut T,
+        metric: MetricId,
+        item_key: u64,
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> bool {
         let (vector, rank) = self.classify(item_key);
         if rank < self.cfg.bit_shift {
             return false;
@@ -86,7 +113,7 @@ impl Dhs {
             vector,
             bit: rank as u8,
         };
-        self.store_tuples(ring, &[tuple], rank, origin, rng, ledger);
+        self.store_tuples(ring, transport, &[tuple], rank, origin, rng, ledger);
         true
     }
 
@@ -99,6 +126,29 @@ impl Dhs {
     pub fn bulk_insert<O: Overlay>(
         &self,
         ring: &mut O,
+        metric: MetricId,
+        item_keys: &[u64],
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> usize {
+        self.bulk_insert_via(
+            ring,
+            &mut DirectTransport,
+            metric,
+            item_keys,
+            origin,
+            rng,
+            ledger,
+        )
+    }
+
+    /// [`Self::bulk_insert`] over an explicit [`Transport`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn bulk_insert_via<O: Overlay, T: Transport>(
+        &self,
+        ring: &mut O,
+        transport: &mut T,
         metric: MetricId,
         item_keys: &[u64],
         origin: u64,
@@ -130,16 +180,24 @@ impl Dhs {
                 })
                 .collect();
             shipped += tuples.len();
-            self.store_tuples(ring, &tuples, rank as u32, origin, rng, ledger);
+            self.store_tuples(ring, transport, &tuples, rank as u32, origin, rng, ledger);
         }
         shipped
     }
 
     /// Route to a random key in `rank`'s interval and store `tuples` at
     /// the owner (plus `R − 1` successor replicas).
-    fn store_tuples<O: Overlay>(
+    ///
+    /// Each send goes through `transport` under its retry policy; every
+    /// attempt re-routes and re-charges (the resent message crosses the
+    /// wire again). A primary store that never gets through stores
+    /// nothing; a lost replica leg breaks the successor forwarding chain
+    /// at that point.
+    #[allow(clippy::too_many_arguments)]
+    fn store_tuples<O: Overlay, T: Transport>(
         &self,
         ring: &mut O,
+        transport: &mut T,
         tuples: &[DhsTuple],
         rank: u32,
         origin: u64,
@@ -148,13 +206,18 @@ impl Dhs {
     ) {
         let interval = interval_for_rank(&self.cfg, rank);
         let routing_key = rng.gen_range(interval.lo..=interval.hi);
-        let hops_before = ledger.hops();
-        let owner = ring.route(origin, routing_key, ledger);
-        let hops = ledger.hops() - hops_before;
         let payload = u64::from(self.cfg.tuple_bytes) * tuples.len() as u64;
-        // One logical message carrying the payload across `hops` hops.
-        ledger.charge_message(0);
-        ledger.charge_bytes(payload * hops);
+        let owner = ring.owner_of(routing_key);
+        let sent = with_retry(transport, |t| {
+            let hops_before = ledger.hops();
+            ring.route(origin, routing_key, ledger);
+            let hops = ledger.hops() - hops_before;
+            // One logical message carrying the payload across `hops` hops.
+            t.routed_exchange(origin, owner, hops, MessageKind::Store, payload, 0, ledger)
+        });
+        if sent.is_err() {
+            return; // every attempt timed out: the tuples are lost
+        }
 
         let expires_at = ring.time().saturating_add(self.cfg.ttl);
         let record = StoredRecord {
@@ -165,13 +228,18 @@ impl Dhs {
         let mut holder = owner;
         for replica in 0..self.cfg.replication {
             if replica > 0 {
-                holder = ring.next_node(holder);
-                if holder == owner {
+                let next = ring.next_node(holder);
+                if next == owner {
                     break; // ring smaller than the replication degree
                 }
                 ledger.charge_hops(1);
-                ledger.charge_message(0);
-                ledger.charge_bytes(payload);
+                let leg = with_retry(transport, |t| {
+                    t.exchange(holder, next, MessageKind::Store, payload, 0, ledger)
+                });
+                if leg.is_err() {
+                    break; // forwarding chain broken at this successor
+                }
+                holder = next;
                 ledger.record_visit(holder);
             }
             for tuple in tuples {

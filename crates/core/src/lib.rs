@@ -62,10 +62,13 @@ pub mod intervals;
 pub mod maintenance;
 pub mod retry;
 pub mod stats;
+pub mod transport;
 pub mod tuple;
 
 pub use config::{ConfigError, DhsConfig, EstimatorKind};
 pub use insert::Dhs;
+pub use retry::{Backoff, RetryPolicy};
 pub use stats::CountResult;
 pub use stats::{CountStats, Summary};
+pub use transport::{DirectTransport, MessageKind, Transport, TransportError};
 pub use tuple::MetricId;

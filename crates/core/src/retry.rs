@@ -29,6 +29,55 @@
 //! The paper's default `lim = 5` thus guarantees `p ≥ 0.99` whenever the
 //! items-to-nodes ratio per interval is at least `m` (i.e. `n ≥ m·N`).
 
+/// Exponential backoff schedule for transport-level retries: attempt
+/// `i` (0-based) waits `base · 2^i` virtual ticks, capped at `cap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the first retry, in virtual ticks.
+    pub base: u64,
+    /// Upper bound on any single delay.
+    pub cap: u64,
+}
+
+impl Backoff {
+    /// The delay before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> u64 {
+        let shift = attempt.min(32);
+        self.base.saturating_mul(1u64 << shift).min(self.cap)
+    }
+}
+
+/// How a DHS operation retries a timed-out message exchange. This is the
+/// *network-failure* retry (re-sending the same message), orthogonal to
+/// the paper's `lim` probe budget (trying a *different* node, §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total send attempts per exchange (≥ 1; 1 = no retries).
+    pub attempts: u32,
+    /// Backoff between attempts.
+    pub backoff: Backoff,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, fail fast.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            backoff: Backoff { base: 0, cap: 0 },
+        }
+    }
+
+    /// `attempts` tries with exponential backoff from `base` ticks,
+    /// capped at `cap` ticks per wait.
+    pub fn new(attempts: u32, base: u64, cap: u64) -> Self {
+        assert!(attempts >= 1, "a policy needs at least one attempt");
+        RetryPolicy {
+            attempts,
+            backoff: Backoff { base, cap },
+        }
+    }
+}
+
 /// Eq. 5: probability that `t` uniformly chosen distinct nodes out of
 /// `n_nodes` are all empty, after `items` items were placed uniformly.
 pub fn prob_t_empty_probes(items: u64, n_nodes: u64, t: u64) -> f64 {
@@ -161,5 +210,25 @@ mod tests {
     fn empty_interval_edge_cases() {
         assert_eq!(required_lim(0.99, 0, 100, 512, 1), 1);
         assert_eq!(hit_probability(5, 0, 100, 512, 1), 0.0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let b = Backoff { base: 10, cap: 55 };
+        assert_eq!(b.delay(0), 10);
+        assert_eq!(b.delay(1), 20);
+        assert_eq!(b.delay(2), 40);
+        assert_eq!(b.delay(3), 55, "capped");
+        assert_eq!(b.delay(60), 55, "shift saturates, no overflow");
+        let z = Backoff { base: 0, cap: 0 };
+        assert_eq!(z.delay(5), 0);
+    }
+
+    #[test]
+    fn retry_policy_constructors() {
+        assert_eq!(RetryPolicy::none().attempts, 1);
+        let p = RetryPolicy::new(3, 100, 1_000);
+        assert_eq!(p.attempts, 3);
+        assert_eq!(p.backoff.delay(0), 100);
     }
 }

@@ -1,0 +1,313 @@
+//! The message transport abstraction DHS operations run over.
+//!
+//! The paper evaluates DHS on a simulated network where messages take
+//! time, get lost, and nodes churn (§5). To make those effects first-
+//! class without slowing the common case, every DHS operation routes its
+//! message sends through a [`Transport`]:
+//!
+//! * [`DirectTransport`] — the zero-cost synchronous path: every message
+//!   is delivered instantly and the ledger charges are *exactly* the ones
+//!   the inline code used to make. This is the default behind
+//!   [`crate::Dhs::insert`] / [`crate::Dhs::count`].
+//! * `SimTransport` (in the `dhs-net` crate) — a deterministic discrete-
+//!   event simulator with latency distributions, message loss,
+//!   duplication, reordering, crash windows and partitions.
+//!
+//! The split of responsibilities is deliberate:
+//!
+//! * **Core decides protocol** — what to send, to whom, how to react to
+//!   a timeout (retry per [`crate::retry::RetryPolicy`], skip a replica,
+//!   leave a vector unresolved).
+//! * **Transport decides delivery** — whether/when a message arrives,
+//!   and charges the [`CostLedger`] for what actually crossed the wire.
+//!
+//! Two exchange shapes cover every DHS message: a *routed* exchange
+//! (multi-hop DHT lookup or store, payload carried across each hop, as
+//! the paper's Table 2 counts bytes) and a *one-hop* exchange
+//! (probe / successor-walk / replica leg).
+
+use dhs_dht::cost::CostLedger;
+
+use crate::retry::RetryPolicy;
+
+/// Semantic type of a DHS protocol message (telemetry vocabulary; the
+/// reply direction is tracked by the transport, not a separate kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// Routed DHT lookup resolving the owner of a key.
+    Lookup,
+    /// Tuple store (insertion primary or replica leg).
+    Store,
+    /// Bit-presence probe of an interval's node (Alg. 1 line 9).
+    Probe,
+    /// One-hop successor/predecessor walk probe (Alg. 1 lines 13–15).
+    SuccessorScan,
+}
+
+impl MessageKind {
+    /// Stable numeric tag (used by telemetry serialization).
+    pub fn tag(self) -> u8 {
+        match self {
+            MessageKind::Lookup => 1,
+            MessageKind::Store => 2,
+            MessageKind::Probe => 3,
+            MessageKind::SuccessorScan => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MessageKind::Lookup => write!(f, "lookup"),
+            MessageKind::Store => write!(f, "store"),
+            MessageKind::Probe => write!(f, "probe"),
+            MessageKind::SuccessorScan => write!(f, "succ-scan"),
+        }
+    }
+}
+
+/// Why a transport exchange failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// No reply arrived before the transport's timeout (the request or
+    /// the reply was lost, the peer is crashed, or the network is
+    /// partitioned — the requester cannot tell which).
+    Timeout {
+        /// What was being exchanged.
+        kind: MessageKind,
+        /// Virtual ticks waited before giving up.
+        waited: u64,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Timeout { kind, waited } => {
+                write!(f, "{kind} timed out after {waited} ticks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Delivery layer for DHS messages. See the module docs for the contract.
+///
+/// Implementations must charge the [`CostLedger`] for every attempt's
+/// wire traffic: on success, one message plus `request_bytes` across
+/// every hop plus `response_bytes` for the reply — byte-identical to the
+/// paper's accounting — and on failure, whatever fraction actually made
+/// it onto the wire.
+pub trait Transport {
+    /// A multi-hop routed request (`hops` routing steps, the payload
+    /// carried across each) plus its direct reply. `dst` is the routing
+    /// destination resolved by the caller via [`dhs_dht::overlay::Overlay::route`]
+    /// (which has already charged the routing hops).
+    #[allow(clippy::too_many_arguments)]
+    fn routed_exchange(
+        &mut self,
+        from: u64,
+        dst: u64,
+        hops: u64,
+        kind: MessageKind,
+        request_bytes: u64,
+        response_bytes: u64,
+        ledger: &mut CostLedger,
+    ) -> Result<(), TransportError>;
+
+    /// A one-hop request/reply exchange with a known peer.
+    fn exchange(
+        &mut self,
+        from: u64,
+        dst: u64,
+        kind: MessageKind,
+        request_bytes: u64,
+        response_bytes: u64,
+        ledger: &mut CostLedger,
+    ) -> Result<(), TransportError>;
+
+    /// Let virtual time pass (retry backoff). No-op for direct delivery.
+    fn pause(&mut self, ticks: u64);
+
+    /// Current virtual time in ticks (always 0 for direct delivery).
+    fn now(&self) -> u64;
+
+    /// How DHS operations should retry failed exchanges over this
+    /// transport. Direct delivery never fails, so it never retries.
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+/// Instantaneous, loss-free delivery: the synchronous fast path used by
+/// all non-`_via` DHS entry points. Charges match the paper's cost
+/// accounting exactly; there is no virtual clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectTransport;
+
+impl Transport for DirectTransport {
+    fn routed_exchange(
+        &mut self,
+        _from: u64,
+        _dst: u64,
+        hops: u64,
+        _kind: MessageKind,
+        request_bytes: u64,
+        response_bytes: u64,
+        ledger: &mut CostLedger,
+    ) -> Result<(), TransportError> {
+        // One logical message carrying the payload across `hops` hops.
+        ledger.charge_message(0);
+        ledger.charge_bytes(request_bytes * hops + response_bytes);
+        Ok(())
+    }
+
+    fn exchange(
+        &mut self,
+        _from: u64,
+        _dst: u64,
+        _kind: MessageKind,
+        request_bytes: u64,
+        response_bytes: u64,
+        ledger: &mut CostLedger,
+    ) -> Result<(), TransportError> {
+        ledger.charge_message(0);
+        ledger.charge_bytes(request_bytes + response_bytes);
+        Ok(())
+    }
+
+    fn pause(&mut self, _ticks: u64) {}
+
+    fn now(&self) -> u64 {
+        0
+    }
+}
+
+/// Run `attempt` under the transport's [`RetryPolicy`]: re-invoke on
+/// timeout (each attempt re-charges its own wire traffic), pausing the
+/// policy's backoff delay between attempts. Returns the first success or
+/// the last timeout.
+pub fn with_retry<T: Transport + ?Sized>(
+    transport: &mut T,
+    mut attempt: impl FnMut(&mut T) -> Result<(), TransportError>,
+) -> Result<(), TransportError> {
+    let policy = transport.retry_policy();
+    let mut last = attempt(transport);
+    for retry in 1..policy.attempts {
+        if last.is_ok() {
+            break;
+        }
+        transport.pause(policy.backoff.delay(retry - 1));
+        last = attempt(transport);
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_routed_exchange_charges_paper_bytes() {
+        let mut ledger = CostLedger::new();
+        DirectTransport
+            .routed_exchange(1, 2, 4, MessageKind::Store, 8, 0, &mut ledger)
+            .unwrap();
+        assert_eq!(ledger.messages(), 1);
+        assert_eq!(ledger.bytes(), 32, "payload × hops");
+        assert_eq!(ledger.hops(), 0, "routing hops are charged by route()");
+    }
+
+    #[test]
+    fn direct_exchange_charges_request_plus_response() {
+        let mut ledger = CostLedger::new();
+        DirectTransport
+            .exchange(1, 2, MessageKind::Probe, 16, 72, &mut ledger)
+            .unwrap();
+        assert_eq!(ledger.messages(), 1);
+        assert_eq!(ledger.bytes(), 88);
+    }
+
+    #[test]
+    fn direct_never_advances_time() {
+        let mut t = DirectTransport;
+        t.pause(1_000);
+        assert_eq!(t.now(), 0);
+        assert_eq!(t.retry_policy().attempts, 1);
+    }
+
+    #[test]
+    fn with_retry_stops_on_first_success() {
+        struct Flaky {
+            failures_left: u32,
+            calls: u32,
+            paused: u64,
+        }
+        impl Transport for Flaky {
+            fn routed_exchange(
+                &mut self,
+                _: u64,
+                _: u64,
+                _: u64,
+                _: MessageKind,
+                _: u64,
+                _: u64,
+                _: &mut CostLedger,
+            ) -> Result<(), TransportError> {
+                unreachable!()
+            }
+            fn exchange(
+                &mut self,
+                _: u64,
+                _: u64,
+                kind: MessageKind,
+                _: u64,
+                _: u64,
+                _: &mut CostLedger,
+            ) -> Result<(), TransportError> {
+                self.calls += 1;
+                if self.failures_left > 0 {
+                    self.failures_left -= 1;
+                    return Err(TransportError::Timeout { kind, waited: 10 });
+                }
+                Ok(())
+            }
+            fn pause(&mut self, ticks: u64) {
+                self.paused += ticks;
+            }
+            fn now(&self) -> u64 {
+                0
+            }
+            fn retry_policy(&self) -> RetryPolicy {
+                RetryPolicy::new(4, 100, 1_000)
+            }
+        }
+
+        let mut t = Flaky {
+            failures_left: 2,
+            calls: 0,
+            paused: 0,
+        };
+        let mut ledger = CostLedger::new();
+        let r = with_retry(&mut t, |t| {
+            t.exchange(1, 2, MessageKind::Probe, 1, 1, &mut ledger)
+        });
+        assert!(r.is_ok());
+        assert_eq!(t.calls, 3, "two failures, one success");
+        assert_eq!(t.paused, 100 + 200, "exponential backoff between tries");
+
+        // Exhausted attempts propagate the last timeout.
+        let mut t = Flaky {
+            failures_left: 10,
+            calls: 0,
+            paused: 0,
+        };
+        let r = with_retry(&mut t, |t| {
+            t.exchange(1, 2, MessageKind::Probe, 1, 1, &mut ledger)
+        });
+        assert!(r.is_err());
+        assert_eq!(t.calls, 4, "policy allows 4 attempts");
+    }
+}

@@ -14,6 +14,12 @@ pub struct CostLedger {
     hops: u64,
     messages: u64,
     bytes: u64,
+    /// Total virtual network latency of delivered messages, in transport
+    /// ticks (0 under instantaneous delivery).
+    latency_ticks: u64,
+    /// Messages that never reached their destination (loss, crash,
+    /// partition — charged by simulated transports).
+    dropped_messages: u64,
     /// Distinct-node visit counts: node id → number of times a message
     /// was delivered to it.
     visits: HashMap<u64, u64>,
@@ -38,6 +44,16 @@ impl CostLedger {
     /// Total bytes charged.
     pub fn bytes(&self) -> u64 {
         self.bytes
+    }
+
+    /// Total virtual network latency of delivered messages, in ticks.
+    pub fn latency_ticks(&self) -> u64 {
+        self.latency_ticks
+    }
+
+    /// Messages charged as dropped (never delivered).
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages
     }
 
     /// Number of *distinct* nodes that received at least one message.
@@ -67,6 +83,16 @@ impl CostLedger {
         self.bytes += n;
     }
 
+    /// Charge virtual latency for a delivered message.
+    pub fn charge_latency(&mut self, ticks: u64) {
+        self.latency_ticks += ticks;
+    }
+
+    /// Record a message that was sent but never delivered.
+    pub fn record_drop(&mut self) {
+        self.dropped_messages += 1;
+    }
+
     /// Record a message delivery to `node`.
     pub fn record_visit(&mut self, node: u64) {
         *self.visits.entry(node).or_insert(0) += 1;
@@ -78,6 +104,8 @@ impl CostLedger {
         self.hops += other.hops;
         self.messages += other.messages;
         self.bytes += other.bytes;
+        self.latency_ticks += other.latency_ticks;
+        self.dropped_messages += other.dropped_messages;
         for (&node, &count) in &other.visits {
             *self.visits.entry(node).or_insert(0) += count;
         }
@@ -157,6 +185,20 @@ mod tests {
         assert_eq!(ledger.hops(), 3);
         assert_eq!(ledger.messages(), 2);
         assert_eq!(ledger.bytes(), 138);
+    }
+
+    #[test]
+    fn latency_and_drops_accumulate_and_absorb() {
+        let mut a = CostLedger::new();
+        a.charge_latency(25);
+        a.record_drop();
+        let mut b = CostLedger::new();
+        b.charge_latency(5);
+        b.record_drop();
+        b.record_drop();
+        a.absorb(&b);
+        assert_eq!(a.latency_ticks(), 30);
+        assert_eq!(a.dropped_messages(), 3);
     }
 
     #[test]

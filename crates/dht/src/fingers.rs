@@ -292,8 +292,8 @@ impl crate::overlay::Overlay for StaleView<'_> {
         self.ring.get_at(node, app_key).copied()
     }
 
-    fn any_node(&self, mut rng: &mut dyn rand::RngCore) -> u64 {
-        self.ring.random_alive(&mut rng)
+    fn any_node(&self, rng: &mut impl rand::Rng) -> u64 {
+        self.ring.random_alive(rng)
     }
 }
 

@@ -168,8 +168,8 @@ impl Overlay for Kademlia {
         self.inner.get_at(node, app_key).copied()
     }
 
-    fn any_node(&self, mut rng: &mut dyn rand::RngCore) -> u64 {
-        self.inner.random_alive(&mut rng)
+    fn any_node(&self, rng: &mut impl rand::Rng) -> u64 {
+        self.inner.random_alive(rng)
     }
 }
 

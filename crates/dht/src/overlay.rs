@@ -49,10 +49,16 @@ pub trait Overlay {
     fn fetch_at(&self, node: u64, app_key: u64) -> Option<StoredRecord>;
 
     /// A uniformly random alive node (experiment origin selection).
-    fn any_node(&self, rng: &mut dyn rand::RngCore) -> u64;
+    ///
+    /// Takes the RNG as `&mut impl Rng` — the same shape every other
+    /// randomized operation uses — so one seeded generator can drive a
+    /// whole simulated scenario end-to-end. (This makes the trait
+    /// non-object-safe; nothing uses `dyn Overlay`.)
+    fn any_node(&self, rng: &mut impl Rng) -> u64;
 }
 
-/// Blanket helper: pick a uniform alive node with any `Rng`.
-pub fn random_node<O: Overlay + ?Sized>(overlay: &O, rng: &mut impl Rng) -> u64 {
+/// Helper alias for [`Overlay::any_node`], kept for call-site symmetry
+/// with the other free functions.
+pub fn random_node<O: Overlay>(overlay: &O, rng: &mut impl Rng) -> u64 {
     overlay.any_node(rng)
 }

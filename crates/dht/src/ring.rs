@@ -309,8 +309,8 @@ impl crate::overlay::Overlay for Ring {
         self.get_at(node, app_key).copied()
     }
 
-    fn any_node(&self, mut rng: &mut dyn rand::RngCore) -> u64 {
-        self.random_alive(&mut rng)
+    fn any_node(&self, rng: &mut impl rand::Rng) -> u64 {
+        self.random_alive(rng)
     }
 }
 

@@ -1,0 +1,157 @@
+//! The fault plane: everything that can go wrong with a message.
+//!
+//! Faults compose — a scenario is one [`FaultPlane`] value combining
+//! probabilistic link faults (loss, duplication, reordering jitter) with
+//! scheduled outages (node crash windows, network partitions). All
+//! probabilistic decisions are drawn from the simulator's seeded RNG, so
+//! a scenario replays identically under the same seed.
+
+/// A node being unreachable during `[from, until)` virtual ticks —
+/// transient network-level failure (distinct from permanent departure,
+/// which the DHT churn machinery models by removing the node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The crashed node's identifier.
+    pub node: u64,
+    /// First tick of the outage.
+    pub from: u64,
+    /// First tick after the outage (exclusive).
+    pub until: u64,
+}
+
+/// A two-sided network partition during `[from, until)`: nodes whose
+/// identifier lies in `[lo, hi]` cannot exchange messages with nodes
+/// outside it (ID-contiguous cuts are the natural partition shape on a
+/// ring overlay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// First tick of the partition.
+    pub from: u64,
+    /// First tick after the partition heals (exclusive).
+    pub until: u64,
+    /// Low end of the isolated identifier range (inclusive).
+    pub lo: u64,
+    /// High end of the isolated identifier range (inclusive).
+    pub hi: u64,
+}
+
+impl Partition {
+    fn isolates(&self, node: u64) -> bool {
+        (self.lo..=self.hi).contains(&node)
+    }
+}
+
+/// Composable per-scenario fault configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlane {
+    /// Probability that a message copy is dropped in transit (drawn once
+    /// per copy, independent of how many routing legs it crosses).
+    pub loss: f64,
+    /// Probability that a delivered one-hop message spawns a duplicate
+    /// copy (delivered later, deduplicated by the receiver).
+    pub duplication: f64,
+    /// Extra uniform `0..=jitter` ticks added to every message's delay;
+    /// with unequal draws, messages overtake each other (reordering).
+    pub reorder_jitter: u64,
+    /// Scheduled transient node outages.
+    pub crashes: Vec<CrashWindow>,
+    /// Scheduled network partitions.
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlane {
+    /// A perfectly healthy network.
+    pub fn none() -> Self {
+        FaultPlane::default()
+    }
+
+    /// Pure message loss at probability `loss` per copy.
+    pub fn lossy(loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        FaultPlane {
+            loss,
+            ..FaultPlane::default()
+        }
+    }
+
+    /// Is `node` inside a crash window at tick `at`?
+    pub fn crashed(&self, node: u64, at: u64) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.node == node && (c.from..c.until).contains(&at))
+    }
+
+    /// Are `a` and `b` on opposite sides of an active partition at `at`?
+    pub fn separated(&self, a: u64, b: u64, at: u64) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| (p.from..p.until).contains(&at) && p.isolates(a) != p.isolates(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_window_is_half_open() {
+        let f = FaultPlane {
+            crashes: vec![CrashWindow {
+                node: 7,
+                from: 100,
+                until: 200,
+            }],
+            ..FaultPlane::none()
+        };
+        assert!(!f.crashed(7, 99));
+        assert!(f.crashed(7, 100));
+        assert!(f.crashed(7, 199));
+        assert!(!f.crashed(7, 200));
+        assert!(!f.crashed(8, 150), "other nodes unaffected");
+    }
+
+    #[test]
+    fn partition_separates_across_the_cut_only() {
+        let f = FaultPlane {
+            partitions: vec![Partition {
+                from: 10,
+                until: 20,
+                lo: 1000,
+                hi: 2000,
+            }],
+            ..FaultPlane::none()
+        };
+        assert!(f.separated(1500, 5000, 15), "across the cut");
+        assert!(!f.separated(1500, 1600, 15), "same side: inside");
+        assert!(!f.separated(100, 5000, 15), "same side: outside");
+        assert!(!f.separated(1500, 5000, 25), "healed");
+    }
+
+    #[test]
+    fn multiple_windows_compose() {
+        let f = FaultPlane {
+            crashes: vec![
+                CrashWindow {
+                    node: 1,
+                    from: 0,
+                    until: 10,
+                },
+                CrashWindow {
+                    node: 1,
+                    from: 50,
+                    until: 60,
+                },
+            ],
+            ..FaultPlane::none()
+        };
+        assert!(f.crashed(1, 5));
+        assert!(!f.crashed(1, 30));
+        assert!(f.crashed(1, 55));
+    }
+
+    #[test]
+    fn lossy_constructor_validates() {
+        assert_eq!(FaultPlane::lossy(0.1).loss, 0.1);
+        assert_eq!(FaultPlane::none(), FaultPlane::default());
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(x in strategy, ...) { body }`);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * strategies: integer/float ranges, `any::<T>()`, tuples,
+//!   `prop::collection::vec`, [`Just`], and the `prop_filter_map` /
+//!   `prop_map` / `prop_filter` combinators.
+//!
+//! Differences from upstream, deliberately accepted: no shrinking (a
+//! failing case panics with its generated inputs instead of a minimized
+//! one) and a fixed deterministic seed per test function (upstream
+//! defaults to an OS seed plus a persisted failure file). Each test
+//! function runs 64 cases by default; set `PROPTEST_CASES` to override.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::…` namespace (upstream layout: `proptest::collection` etc.).
+pub mod collection {
+    pub use crate::strategy::{vec, SizeRange, VecStrategy};
+}
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` module alias used as `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a `proptest!` body.
+///
+/// Upstream returns an error that the runner turns into a (shrunk)
+/// failure; the shim panics directly, which fails the test with the
+/// un-shrunk inputs printed by the runner harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Discard the current case when its inputs don't satisfy a
+/// precondition (upstream retries the case; the shim, whose bodies run
+/// inside a per-case closure, simply skips it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Define property tests: each `fn name(x in strategy, …) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let strat = ($($strat,)+);
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(
+                        stringify!($name),
+                        case,
+                    );
+                    let values = $crate::strategy::Strategy::new_value(&strat, &mut rng);
+                    let desc = format!("{values:?}");
+                    $crate::test_runner::run_case(
+                        stringify!($name),
+                        case,
+                        &desc,
+                        move || {
+                            let ($($arg,)+) = values;
+                            $body
+                        },
+                    );
+                }
+            }
+        )+
+    };
+}

@@ -1,0 +1,369 @@
+//! Value-generation strategies (shim: generation only, no shrink trees).
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// How many candidate values a filtering combinator tries before giving
+/// up (upstream calls this "local rejects").
+const MAX_FILTER_TRIES: u32 = 4096;
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Keep only values where `f` returns `Some`, mapping them.
+    fn prop_filter_map<O: fmt::Debug, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Transform generated values.
+    fn prop_map<O: fmt::Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values where `f` returns `true`.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        for _ in 0..MAX_FILTER_TRIES {
+            if let Some(v) = (self.f)(self.inner.new_value(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map exhausted retries: {}", self.whence);
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_TRIES {
+            let v = self.inner.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.whence);
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias toward structure: plain uniform bits most of the
+                // time, but mix in boundary values the way upstream's
+                // binary search shrinking would find them.
+                match rng.gen_range(0u32..16) {
+                    0 => 0,
+                    1 => <$ty>::MAX,
+                    2 => 1,
+                    _ => rng.gen::<$ty>(),
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<i64>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only (the tests do arithmetic on them).
+        rng.gen::<f64>() * 2e9 - 1e9
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_int_ranges {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeFrom<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.start..=<$ty>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_float_ranges {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_float_ranges!(f32, f64);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_tuples! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Element-count specification for [`vec`]: a fixed size or a range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: r.end() + 1,
+        }
+    }
+}
+
+/// A strategy generating `Vec`s of an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `prop::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges", 0);
+        for _ in 0..1000 {
+            let a = (3u32..17).new_value(&mut rng);
+            assert!((3..17).contains(&a));
+            let b = (5u64..).new_value(&mut rng);
+            assert!(b >= 5);
+            let c = (0.5f64..2.5).new_value(&mut rng);
+            assert!((0.5..2.5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn filter_map_retries_until_some() {
+        let mut rng = TestRng::deterministic("fm", 1);
+        let s = (0u32..100).prop_filter_map("even only", |x| (x % 2 == 0).then_some(x * 10));
+        for _ in 0..200 {
+            assert_eq!(s.new_value(&mut rng) % 20, 0);
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_spec() {
+        let mut rng = TestRng::deterministic("vec", 2);
+        let fixed = vec(any::<u64>(), 7usize);
+        assert_eq!(fixed.new_value(&mut rng).len(), 7);
+        let ranged = vec(0u8..5, 2usize..6);
+        for _ in 0..100 {
+            let v = ranged.new_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::deterministic("tup", 3);
+        let (a, b, c) = (0u32..10, any::<bool>(), 1u64..=4).new_value(&mut rng);
+        assert!(a < 10);
+        let _ = b;
+        assert!((1..=4).contains(&c));
+    }
+
+    #[test]
+    fn any_hits_boundaries_eventually() {
+        let mut rng = TestRng::deterministic("bound", 4);
+        let s = any::<u64>();
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..2000 {
+            match s.new_value(&mut rng) {
+                0 => saw_zero = true,
+                u64::MAX => saw_max = true,
+                _ => {}
+            }
+        }
+        assert!(saw_zero && saw_max);
+    }
+}

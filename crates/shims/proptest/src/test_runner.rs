@@ -1,0 +1,78 @@
+//! The shim's tiny test runner: deterministic per-case RNG and a case
+//! wrapper that reports the generated inputs of a failing case.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Default cases per property (upstream default is 256; the shim trades
+/// a little coverage for suite speed — override with `PROPTEST_CASES`).
+const DEFAULT_CASES: u32 = 64;
+
+/// Number of cases to run per property test.
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// The RNG handed to strategies. A thin wrapper over the workspace
+/// [`StdRng`] so strategy code does not depend on a concrete generator.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic stream for (test name, case index): FNV-1a over the
+    /// name, mixed with the case number.
+    pub fn deterministic(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Run one generated case, decorating any panic with the case's inputs
+/// (the shim does not shrink; the raw inputs are the diagnostic).
+pub fn run_case(test_name: &str, case: u32, inputs: &str, body: impl FnOnce()) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    if let Err(payload) = result {
+        eprintln!("proptest {test_name}: case {case} failed with inputs: {inputs}");
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams_repeat() {
+        let mut a = TestRng::deterministic("t", 3);
+        let mut b = TestRng::deterministic("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn case_count_default() {
+        assert!(case_count() >= 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! Offline shim for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors a minimal, API-compatible subset of `rand`
+//! 0.8 — exactly the surface the codebase uses: [`RngCore`], the [`Rng`]
+//! extension trait (`gen`, `gen_range`, `gen_bool`), [`SeedableRng`] and
+//! [`rngs::StdRng`].
+//!
+//! The generator behind `StdRng` is xoshiro256++ seeded via SplitMix64
+//! (the standard seeding recipe), *not* the ChaCha12 core of the real
+//! `rand::rngs::StdRng` — streams differ from upstream, but every
+//! property the test-suite relies on holds: determinism under a fixed
+//! seed, 64-bit equidistribution-grade statistical quality, and
+//! independence of streams derived from different seeds.
+//!
+//! Swapping the real crate back in is a one-line change in the workspace
+//! `Cargo.toml`; no call site mentions this shim by name.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+/// The core of a random number generator: uniform raw bits.
+pub trait RngCore {
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG's raw bits (the
+/// `Standard` distribution of the real crate).
+pub trait StandardSample {
+    /// Draw one uniform value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($ty:ty => $via:ident),* $(,)?) => {$(
+        impl StandardSample for $ty {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $ty
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+impl StandardSample for u128 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (matches upstream).
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range. Panics on empty ranges.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integers with an unbiased bounded-sample primitive.
+pub trait SampleUniform: Copy {
+    /// Uniform in `[lo, hi]` (inclusive), `lo ≤ hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// Unbiased uniform draw from `[0, bound)` via rejection sampling
+/// (Lemire's method needs 128-bit widening; plain rejection is simpler
+/// and just as correct).
+fn bounded_u64<R: RngCore + ?Sized>(bound: u64, rng: &mut R) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    // Zone rejection: accept draws below the largest multiple of `bound`.
+    let zone = u64::MAX - (u64::MAX % bound) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),* $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                lo.wrapping_add(bounded_u64(span + 1, rng) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        lo + f64::standard_sample(rng) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        lo + f32::standard_sample(rng) * (hi - lo)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // Exclusive top: delegate to inclusive on the integer predecessor
+        // is type-specific; sample until below `end` instead (at most one
+        // retry in expectation for integer ranges ≥ 1 wide).
+        loop {
+            let v = T::sample_inclusive(self.start, self.end, rng);
+            if v < self.end {
+                return v;
+            }
+        }
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Extension methods over any [`RngCore`] (the user-facing trait).
+pub trait Rng: RngCore {
+    /// A uniform value of `T` (the `Standard` distribution).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// A uniform value in `range` (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        f64::standard_sample(self) < p
+    }
+
+    /// Fill `dest` with random data (alias of [`RngCore::fill_bytes`]).
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator seedable from fixed data, for reproducible streams.
+pub trait SeedableRng: Sized {
+    /// Seed material (byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build from exact seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanding it with SplitMix64 — the upstream
+    /// recipe, so different `u64` seeds give well-separated streams.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(3usize..=5);
+            assert!((3..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((0.47..0.53).contains(&(sum / 10_000.0)));
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn dyn_rng_core_is_usable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dynr: &mut dyn RngCore = &mut rng;
+        let mut wrapped = dynr;
+        let x: u64 = wrapped.gen();
+        let _ = x;
+        let y = wrapped.gen_range(0u32..10);
+        assert!(y < 10);
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,86 @@
+//! Named generators (shim: only `StdRng`).
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seeded generator: xoshiro256++.
+///
+/// Upstream `rand`'s `StdRng` is ChaCha12; this shim substitutes
+/// xoshiro256++ (Blackman & Vigna), which passes BigCrush and is more
+/// than adequate for simulation workloads. Streams therefore differ
+/// from upstream `rand`, but are deterministic per seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn rotl(x: u64, k: u32) -> u64 {
+        x.rotate_left(k)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // The all-zero state is a fixed point; nudge it off.
+        if s == [0, 0, 0, 0] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = Self::rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = Self::rotl(s[3], 45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector_xoshiro256pp() {
+        // Reference: xoshiro256++ with state [1, 2, 3, 4] produces
+        // 41943041 first (from the reference C implementation).
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        seed[8] = 2;
+        seed[16] = 3;
+        seed[24] = 4;
+        let mut rng = StdRng::from_seed(seed);
+        assert_eq!(rng.next_u64(), 41943041);
+        assert_eq!(rng.next_u64(), 58720359);
+    }
+
+    #[test]
+    fn zero_seed_does_not_stick_at_zero() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+}

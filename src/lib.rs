@@ -11,6 +11,9 @@
 //!   plus the hashing substrate (MD4, SplitMix64).
 //! * [`dht`] — a deterministic Chord-like DHT simulator with exact
 //!   hop/byte cost accounting.
+//! * [`net`] — a deterministic discrete-event network simulator (latency
+//!   models, fault injection, per-message telemetry) that DHS operations
+//!   run over via the `Transport` trait.
 //! * [`dhs`] — Distributed Hash Sketches: the paper's contribution
 //!   (interval mapping, insertion, the Alg. 1 counting procedure,
 //!   soft-state maintenance, multi-metric counting).
@@ -26,5 +29,6 @@ pub use dhs_baselines as baselines;
 pub use dhs_core as dhs;
 pub use dhs_dht as dht;
 pub use dhs_histogram as histogram;
+pub use dhs_net as net;
 pub use dhs_sketch as sketch;
 pub use dhs_workload as workload;
