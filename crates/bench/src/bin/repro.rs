@@ -35,6 +35,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("baselines", experiments::baselines),
     ("geometry", experiments::geometry),
     ("network", experiments::network),
+    ("loadbalance", experiments::load_balance),
 ];
 
 fn usage() -> String {

@@ -6,6 +6,7 @@ mod baselines_cmp;
 mod geometry;
 mod hist;
 mod insertion_costs;
+mod load_balance;
 mod network;
 mod queryopt;
 mod scalability_exp;
@@ -20,6 +21,7 @@ pub use baselines_cmp::baselines;
 pub use geometry::geometry;
 pub use hist::{hist_accuracy, table3};
 pub use insertion_costs::insertion;
+pub use load_balance::load_balance;
 pub use network::network;
 pub use queryopt::queryopt;
 pub use scalability_exp::scalability;

@@ -33,7 +33,7 @@ use crate::config::EstimatorKind;
 use crate::insert::Dhs;
 use crate::intervals::{interval_for_rank, IdInterval};
 use crate::stats::{CountResult, CountStats};
-use crate::transport::{with_retry, DirectTransport, MessageKind, Transport};
+use crate::transport::{end_span, start_span, with_retry, DirectTransport, MessageKind, Transport};
 use crate::tuple::{DhsTuple, MetricId};
 
 /// The Alg. 1 walk order inside one interval: successors while they stay
@@ -117,7 +117,10 @@ impl<'a, O: Overlay, T: Transport, R: Rng> Prober<'a, O, T, R> {
         let (ring, origin) = (self.ring, self.origin);
         let sent = with_retry(self.transport, |t| {
             let hops_before = ledger.hops();
-            ring.route(origin, key, ledger);
+            match t.recorder() {
+                Some(obs) => ring.route_observed(origin, key, ledger, obs),
+                None => ring.route(origin, key, ledger),
+            };
             let lookup_hops = ledger.hops() - hops_before;
             t.routed_exchange(
                 origin,
@@ -231,14 +234,24 @@ impl Dhs {
         ledger: &mut CostLedger,
     ) -> Vec<CountResult> {
         assert!(!metrics.is_empty(), "count_multi needs at least one metric");
-        match self.config().estimator {
+        let span = start_span(transport, "count", metrics.len() as u64);
+        let results = match self.config().estimator {
             // HyperLogLog shares super-LogLog's storage and top-down scan;
             // only the register→estimate formula differs.
             EstimatorKind::SuperLogLog | EstimatorKind::HyperLogLog => {
                 self.count_max_rank(ring, transport, metrics, origin, rng, ledger)
             }
             EstimatorKind::Pcsa => self.count_pcsa(ring, transport, metrics, origin, rng, ledger),
+        };
+        if let Some(r) = transport.recorder() {
+            let stats = results[0].stats;
+            r.incr("op.count", 1);
+            r.observe("op.count.bytes", stats.bytes);
+            r.observe("op.count.hops", stats.hops);
+            r.observe("op.count.probes", stats.probes);
         }
+        end_span(transport, span);
+        results
     }
 
     /// DHS-sLL / DHS-HLL: scan bit positions from most to least
@@ -273,8 +286,10 @@ impl Dhs {
             if unresolved == 0 {
                 break;
             }
+            let interval_span = start_span(prober.transport, "interval", u64::from(rank));
             let Some((mut walk, mut target)) = prober.open_interval(rank, ledger, &mut stats)
             else {
+                end_span(prober.transport, interval_span);
                 continue; // lookup unreachable: skip this interval
             };
             for attempt in 0..cfg.lim {
@@ -285,16 +300,23 @@ impl Dhs {
                 } else {
                     MessageKind::Probe
                 };
+                let scan_span = if attempt > 0 {
+                    start_span(prober.transport, "succ_scan", u64::from(attempt))
+                } else {
+                    None
+                };
                 prober.probe(target, rank, kind, ledger, &mut stats, |mi, vector| {
                     if regs[mi][vector].is_none() {
                         regs[mi][vector] = Some(rank as u8 + 1);
                         unresolved -= 1;
                     }
                 });
+                end_span(prober.transport, scan_span);
                 if unresolved == 0 {
                     break;
                 }
             }
+            end_span(prober.transport, interval_span);
         }
 
         stats.bytes = ledger.bytes() - bytes_before;
@@ -361,8 +383,10 @@ impl Dhs {
             }
             // Unresolved vectors not yet confirmed set at this rank.
             let mut in_question = unresolved;
+            let interval_span = start_span(prober.transport, "interval", u64::from(rank));
             let Some((mut walk, mut target)) = prober.open_interval(rank, ledger, &mut stats)
             else {
+                end_span(prober.transport, interval_span);
                 continue; // lookup unreachable: no probe evidence, so no
                           // first-zero conclusions at this rank
             };
@@ -374,16 +398,23 @@ impl Dhs {
                 } else {
                     MessageKind::Probe
                 };
+                let scan_span = if attempt > 0 {
+                    start_span(prober.transport, "succ_scan", u64::from(attempt))
+                } else {
+                    None
+                };
                 prober.probe(target, rank, kind, ledger, &mut stats, |mi, vector| {
                     if first_zero[mi][vector].is_none() && !confirmed[mi][vector] {
                         confirmed[mi][vector] = true;
                         in_question -= 1;
                     }
                 });
+                end_span(prober.transport, scan_span);
                 if in_question == 0 {
                     break; // every candidate is set at this rank
                 }
             }
+            end_span(prober.transport, interval_span);
             // Candidates never seen set at this rank: their lowest zero is
             // here (possibly wrongly, if all `lim` probes missed — §4.1).
             for (mi, row) in confirmed.iter().enumerate() {

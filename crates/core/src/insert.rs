@@ -25,7 +25,7 @@ use dhs_sketch::rho::{lsb, rho};
 
 use crate::config::{ConfigError, DhsConfig};
 use crate::intervals::interval_for_rank;
-use crate::transport::{with_retry, DirectTransport, MessageKind, Transport};
+use crate::transport::{end_span, start_span, with_retry, DirectTransport, MessageKind, Transport};
 use crate::tuple::{DhsTuple, MetricId};
 
 /// The DHS protocol handle: a validated configuration plus the insertion
@@ -106,6 +106,9 @@ impl Dhs {
     ) -> bool {
         let (vector, rank) = self.classify(item_key);
         if rank < self.cfg.bit_shift {
+            if let Some(r) = transport.recorder() {
+                r.incr("op.insert.elided", 1);
+            }
             return false;
         }
         let tuple = DhsTuple {
@@ -113,7 +116,15 @@ impl Dhs {
             vector,
             bit: rank as u8,
         };
+        let span = start_span(transport, "insert", u64::from(rank));
+        let bytes_before = ledger.bytes();
         self.store_tuples(ring, transport, &[tuple], rank, origin, rng, ledger);
+        let bytes = ledger.bytes() - bytes_before;
+        if let Some(r) = transport.recorder() {
+            r.incr("op.insert", 1);
+            r.observe("op.insert.bytes", bytes);
+        }
+        end_span(transport, span);
         true
     }
 
@@ -155,6 +166,7 @@ impl Dhs {
         rng: &mut impl Rng,
         ledger: &mut CostLedger,
     ) -> usize {
+        let span = start_span(transport, "bulk_insert", item_keys.len() as u64);
         // Group by rank; dedup vectors inside each group.
         let rank_count = self.cfg.rank_bits() as usize;
         let mut groups: Vec<Vec<u16>> = vec![Vec::new(); rank_count];
@@ -182,6 +194,11 @@ impl Dhs {
             shipped += tuples.len();
             self.store_tuples(ring, transport, &tuples, rank as u32, origin, rng, ledger);
         }
+        if let Some(r) = transport.recorder() {
+            r.incr("op.bulk_insert", 1);
+            r.incr("op.bulk_insert.tuples", shipped as u64);
+        }
+        end_span(transport, span);
         shipped
     }
 
@@ -208,14 +225,22 @@ impl Dhs {
         let routing_key = rng.gen_range(interval.lo..=interval.hi);
         let payload = u64::from(self.cfg.tuple_bytes) * tuples.len() as u64;
         let owner = ring.owner_of(routing_key);
+        let route_span = start_span(transport, "route", u64::from(rank));
         let sent = with_retry(transport, |t| {
             let hops_before = ledger.hops();
-            ring.route(origin, routing_key, ledger);
+            match t.recorder() {
+                Some(obs) => ring.route_observed(origin, routing_key, ledger, obs),
+                None => ring.route(origin, routing_key, ledger),
+            };
             let hops = ledger.hops() - hops_before;
             // One logical message carrying the payload across `hops` hops.
             t.routed_exchange(origin, owner, hops, MessageKind::Store, payload, 0, ledger)
         });
+        end_span(transport, route_span);
         if sent.is_err() {
+            if let Some(r) = transport.recorder() {
+                r.incr("op.store.lost", 1);
+            }
             return; // every attempt timed out: the tuples are lost
         }
 
@@ -225,6 +250,7 @@ impl Dhs {
             size_bytes: self.cfg.tuple_bytes,
             routing_key,
         };
+        let store_span = start_span(transport, "store", tuples.len() as u64);
         let mut holder = owner;
         for replica in 0..self.cfg.replication {
             if replica > 0 {
@@ -246,6 +272,7 @@ impl Dhs {
                 ring.put_at(holder, tuple.app_key(), record);
             }
         }
+        end_span(transport, store_span);
     }
 }
 

@@ -70,5 +70,5 @@ pub use insert::Dhs;
 pub use retry::{Backoff, RetryPolicy};
 pub use stats::CountResult;
 pub use stats::{CountStats, Summary};
-pub use transport::{DirectTransport, MessageKind, Transport, TransportError};
+pub use transport::{DirectTransport, MessageKind, Observed, Transport, TransportError};
 pub use tuple::MetricId;

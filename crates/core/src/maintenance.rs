@@ -13,12 +13,14 @@
 //! shrinks; short TTLs adapt fast but cost bandwidth. The
 //! [`refresh_cost_per_time`] helper quantifies the maintenance side.
 
+use dhs_obs::{NoopRecorder, Recorder};
 use rand::Rng;
 
 use dhs_dht::cost::CostLedger;
 use dhs_dht::overlay::Overlay;
 
 use crate::insert::Dhs;
+use crate::transport::{end_span, start_span, DirectTransport, MessageKind, Transport};
 use crate::tuple::MetricId;
 
 /// One maintenance round: the owner of `item_keys` re-inserts them all
@@ -34,7 +36,41 @@ pub fn refresh_round<O: Overlay>(
     rng: &mut impl Rng,
     ledger: &mut CostLedger,
 ) -> usize {
-    dhs.bulk_insert(ring, metric, item_keys, origin, rng, ledger)
+    refresh_round_via(
+        dhs,
+        ring,
+        &mut DirectTransport,
+        metric,
+        item_keys,
+        origin,
+        rng,
+        ledger,
+    )
+}
+
+/// [`refresh_round`] over an explicit [`Transport`]: refresh traffic shows
+/// up in the transport's observability (a `refresh` span wrapping the bulk
+/// re-insertion, `op.refresh` / `op.refresh.tuples` counters) and follows
+/// its delivery semantics.
+#[allow(clippy::too_many_arguments)]
+pub fn refresh_round_via<O: Overlay, T: Transport>(
+    dhs: &Dhs,
+    ring: &mut O,
+    transport: &mut T,
+    metric: MetricId,
+    item_keys: &[u64],
+    origin: u64,
+    rng: &mut impl Rng,
+    ledger: &mut CostLedger,
+) -> usize {
+    let span = start_span(transport, "refresh", item_keys.len() as u64);
+    let shipped = dhs.bulk_insert_via(ring, transport, metric, item_keys, origin, rng, ledger);
+    if let Some(r) = transport.recorder() {
+        r.incr("op.refresh", 1);
+        r.incr("op.refresh.tuples", shipped as u64);
+    }
+    end_span(transport, span);
+    shipped
 }
 
 /// Anti-entropy replica repair (§3.5's replication, kept alive under
@@ -50,6 +86,18 @@ pub fn repair_replicas(
     ring: &mut dhs_dht::ring::Ring,
     ledger: &mut CostLedger,
 ) -> usize {
+    repair_replicas_observed(dhs, ring, ledger, &mut NoopRecorder)
+}
+
+/// [`repair_replicas`], reporting each re-pushed copy as a delivered store
+/// message into `obs` (so repair traffic feeds the load monitor) plus an
+/// `op.repair.pushes` counter. Identical ledger charges and ring effects.
+pub fn repair_replicas_observed(
+    dhs: &Dhs,
+    ring: &mut dhs_dht::ring::Ring,
+    ledger: &mut CostLedger,
+    obs: &mut dyn Recorder,
+) -> usize {
     let replication = dhs.config().replication;
     if replication <= 1 {
         return 0;
@@ -59,8 +107,10 @@ pub fn repair_replicas(
     // routing key plus the owner's `R − 1` successors — anchoring there
     // (rather than at whichever nodes happen to hold copies) is what makes
     // repair convergent: a second pass right after a first finds nothing.
-    let mut canonical: std::collections::HashMap<(u64, u64), dhs_dht::storage::StoredRecord> =
-        std::collections::HashMap::new();
+    // BTreeMap keeps the push order (and thus every downstream report)
+    // deterministic.
+    let mut canonical: std::collections::BTreeMap<(u64, u64), dhs_dht::storage::StoredRecord> =
+        std::collections::BTreeMap::new();
     for &node in ring.alive_ids() {
         let Some(store) = ring.store_of(node) else {
             continue;
@@ -94,7 +144,9 @@ pub fn repair_replicas(
         ledger.charge_message(0);
         ledger.charge_bytes(u64::from(dhs.config().tuple_bytes));
         ledger.record_visit(target);
+        obs.delivered(MessageKind::Store.tag(), target);
     }
+    obs.incr("op.repair.pushes", copies as u64);
     copies
 }
 

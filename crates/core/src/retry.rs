@@ -231,4 +231,113 @@ mod tests {
         assert_eq!(p.attempts, 3);
         assert_eq!(p.backoff.delay(0), 100);
     }
+
+    #[test]
+    fn backoff_exact_schedule() {
+        // Doubling multiplier from `base`, capped at `cap`: enumerate the
+        // full schedule a 6-attempt policy would use (5 waits).
+        let p = RetryPolicy::new(6, 50, 400);
+        let schedule: Vec<u64> = (0..p.attempts - 1).map(|i| p.backoff.delay(i)).collect();
+        assert_eq!(schedule, vec![50, 100, 200, 400, 400]);
+        // The total wall-clock wait of a fully failing exchange.
+        assert_eq!(schedule.iter().sum::<u64>(), 1_150);
+        // An uncapped-looking policy still saturates instead of overflowing.
+        let wide = Backoff {
+            base: u64::MAX,
+            cap: u64::MAX,
+        };
+        assert_eq!(wide.delay(1), u64::MAX, "saturating multiply");
+    }
+
+    #[test]
+    fn policy_gives_up_after_configured_attempts_with_ledger_charges() {
+        use crate::transport::{with_retry, MessageKind, Transport, TransportError};
+        use dhs_dht::cost::CostLedger;
+
+        /// A transport where every send reaches the wire (and is charged)
+        /// but no reply ever comes back.
+        struct BlackHole {
+            calls: u32,
+            paused: u64,
+            policy: RetryPolicy,
+        }
+        impl Transport for BlackHole {
+            fn routed_exchange(
+                &mut self,
+                _: u64,
+                _: u64,
+                hops: u64,
+                kind: MessageKind,
+                request_bytes: u64,
+                _: u64,
+                ledger: &mut CostLedger,
+            ) -> Result<(), TransportError> {
+                self.calls += 1;
+                ledger.charge_message(0);
+                ledger.charge_bytes(request_bytes * hops);
+                ledger.record_drop();
+                Err(TransportError::Timeout { kind, waited: 400 })
+            }
+            fn exchange(
+                &mut self,
+                _: u64,
+                _: u64,
+                kind: MessageKind,
+                request_bytes: u64,
+                _: u64,
+                ledger: &mut CostLedger,
+            ) -> Result<(), TransportError> {
+                self.calls += 1;
+                ledger.charge_message(request_bytes);
+                ledger.record_drop();
+                Err(TransportError::Timeout { kind, waited: 400 })
+            }
+            fn pause(&mut self, ticks: u64) {
+                self.paused += ticks;
+            }
+            fn now(&self) -> u64 {
+                0
+            }
+            fn retry_policy(&self) -> RetryPolicy {
+                self.policy
+            }
+        }
+
+        let policy = RetryPolicy::new(4, 25, 1_000);
+        let mut t = BlackHole {
+            calls: 0,
+            paused: 0,
+            policy,
+        };
+        let mut ledger = CostLedger::new();
+        let out = with_retry(&mut t, |t| {
+            t.exchange(1, 2, MessageKind::Probe, 16, 72, &mut ledger)
+        });
+        assert!(
+            matches!(out, Err(TransportError::Timeout { .. })),
+            "the policy must give up with the last timeout"
+        );
+        assert_eq!(t.calls, policy.attempts, "exactly `attempts` sends");
+        // Every failed attempt still charged its wire traffic.
+        assert_eq!(ledger.messages(), u64::from(policy.attempts));
+        assert_eq!(ledger.bytes(), 16 * u64::from(policy.attempts));
+        assert_eq!(ledger.dropped_messages(), u64::from(policy.attempts));
+        // Waits follow the backoff schedule between attempts: 25+50+100.
+        assert_eq!(t.paused, 175);
+
+        // attempts = 1 means fail-fast: one send, no pausing.
+        let mut t = BlackHole {
+            calls: 0,
+            paused: 0,
+            policy: RetryPolicy::none(),
+        };
+        let mut ledger = CostLedger::new();
+        let out = with_retry(&mut t, |t| {
+            t.routed_exchange(1, 2, 3, MessageKind::Store, 8, 0, &mut ledger)
+        });
+        assert!(out.is_err());
+        assert_eq!(t.calls, 1);
+        assert_eq!(t.paused, 0);
+        assert_eq!(ledger.bytes(), 24, "request bytes across 3 hops");
+    }
 }

@@ -27,6 +27,7 @@
 //! (probe / successor-walk / replica leg).
 
 use dhs_dht::cost::CostLedger;
+use dhs_obs::Recorder;
 
 use crate::retry::RetryPolicy;
 
@@ -52,6 +53,56 @@ impl MessageKind {
             MessageKind::Store => 2,
             MessageKind::Probe => 3,
             MessageKind::SuccessorScan => 4,
+        }
+    }
+
+    /// Counter name for attempted exchanges of this kind.
+    pub fn sent_counter(self) -> &'static str {
+        match self {
+            MessageKind::Lookup => "msg.lookup.sent",
+            MessageKind::Store => "msg.store.sent",
+            MessageKind::Probe => "msg.probe.sent",
+            MessageKind::SuccessorScan => "msg.succ_scan.sent",
+        }
+    }
+
+    /// Counter name for successful exchanges of this kind.
+    pub fn ok_counter(self) -> &'static str {
+        match self {
+            MessageKind::Lookup => "msg.lookup.ok",
+            MessageKind::Store => "msg.store.ok",
+            MessageKind::Probe => "msg.probe.ok",
+            MessageKind::SuccessorScan => "msg.succ_scan.ok",
+        }
+    }
+
+    /// Counter name for timed-out exchanges of this kind.
+    pub fn timeout_counter(self) -> &'static str {
+        match self {
+            MessageKind::Lookup => "msg.lookup.timeout",
+            MessageKind::Store => "msg.store.timeout",
+            MessageKind::Probe => "msg.probe.timeout",
+            MessageKind::SuccessorScan => "msg.succ_scan.timeout",
+        }
+    }
+
+    /// Histogram name for the virtual ticks an exchange of this kind took.
+    pub fn ticks_histogram(self) -> &'static str {
+        match self {
+            MessageKind::Lookup => "msg.lookup.ticks",
+            MessageKind::Store => "msg.store.ticks",
+            MessageKind::Probe => "msg.probe.ticks",
+            MessageKind::SuccessorScan => "msg.succ_scan.ticks",
+        }
+    }
+
+    /// Histogram name for routing hops of a routed exchange of this kind.
+    pub fn hops_histogram(self) -> &'static str {
+        match self {
+            MessageKind::Lookup => "msg.lookup.hops",
+            MessageKind::Store => "msg.store.hops",
+            MessageKind::Probe => "msg.probe.hops",
+            MessageKind::SuccessorScan => "msg.succ_scan.hops",
         }
     }
 }
@@ -139,6 +190,147 @@ pub trait Transport {
     fn retry_policy(&self) -> RetryPolicy {
         RetryPolicy::none()
     }
+
+    /// The observability sink attached to this transport, if any. The
+    /// default is `None`, so un-instrumented transports pay nothing; wrap
+    /// any transport in [`Observed`] to attach one.
+    fn recorder(&mut self) -> Option<&mut dyn Recorder> {
+        None
+    }
+}
+
+/// Open a span named `name` on the transport's recorder (if any), stamped
+/// with the transport's virtual clock. Returns the span id to hand back to
+/// [`end_span`]; `None` means observability is off and nothing was recorded.
+pub fn start_span<T: Transport + ?Sized>(t: &mut T, name: &'static str, arg: u64) -> Option<u64> {
+    let now = t.now();
+    t.recorder().map(|r| r.span_start(name, arg, now))
+}
+
+/// Close a span previously opened with [`start_span`]. No-op for `None`.
+pub fn end_span<T: Transport + ?Sized>(t: &mut T, span: Option<u64>) {
+    if let Some(id) = span {
+        let now = t.now();
+        if let Some(r) = t.recorder() {
+            r.span_end(id, now);
+        }
+    }
+}
+
+/// A transport wrapper that attaches a [`Recorder`] without changing
+/// delivery semantics or ledger charges: every call forwards verbatim to
+/// the inner transport, and the observer sees per-kind sent/ok/timeout
+/// counters, latency and hop histograms, and delivered-message events
+/// (which feed the load monitor).
+#[derive(Debug, Clone)]
+pub struct Observed<T, R> {
+    inner: T,
+    observer: R,
+}
+
+impl<T: Transport, R: Recorder> Observed<T, R> {
+    /// Wrap `inner` so all its traffic is reported to `observer`.
+    pub fn new(inner: T, observer: R) -> Self {
+        Observed { inner, observer }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &R {
+        &self.observer
+    }
+
+    /// The attached observer, mutably (e.g. to swap phases of a workload).
+    pub fn observer_mut(&mut self) -> &mut R {
+        &mut self.observer
+    }
+
+    /// Unwrap into the transport and the observer.
+    pub fn into_parts(self) -> (T, R) {
+        (self.inner, self.observer)
+    }
+}
+
+impl<T: Transport, R: Recorder> Transport for Observed<T, R> {
+    fn routed_exchange(
+        &mut self,
+        from: u64,
+        dst: u64,
+        hops: u64,
+        kind: MessageKind,
+        request_bytes: u64,
+        response_bytes: u64,
+        ledger: &mut CostLedger,
+    ) -> Result<(), TransportError> {
+        self.observer.incr(kind.sent_counter(), 1);
+        let before = self.inner.now();
+        let result = self.inner.routed_exchange(
+            from,
+            dst,
+            hops,
+            kind,
+            request_bytes,
+            response_bytes,
+            ledger,
+        );
+        let waited = self.inner.now().saturating_sub(before);
+        self.observer.observe(kind.ticks_histogram(), waited);
+        self.observer.observe(kind.hops_histogram(), hops);
+        match result {
+            Ok(()) => {
+                self.observer.incr(kind.ok_counter(), 1);
+                self.observer.delivered(kind.tag(), dst);
+            }
+            Err(_) => self.observer.incr(kind.timeout_counter(), 1),
+        }
+        result
+    }
+
+    fn exchange(
+        &mut self,
+        from: u64,
+        dst: u64,
+        kind: MessageKind,
+        request_bytes: u64,
+        response_bytes: u64,
+        ledger: &mut CostLedger,
+    ) -> Result<(), TransportError> {
+        self.observer.incr(kind.sent_counter(), 1);
+        let before = self.inner.now();
+        let result = self
+            .inner
+            .exchange(from, dst, kind, request_bytes, response_bytes, ledger);
+        let waited = self.inner.now().saturating_sub(before);
+        self.observer.observe(kind.ticks_histogram(), waited);
+        match result {
+            Ok(()) => {
+                self.observer.incr(kind.ok_counter(), 1);
+                self.observer.delivered(kind.tag(), dst);
+            }
+            Err(_) => self.observer.incr(kind.timeout_counter(), 1),
+        }
+        result
+    }
+
+    fn pause(&mut self, ticks: u64) {
+        self.inner.pause(ticks);
+    }
+
+    fn now(&self) -> u64 {
+        self.inner.now()
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.inner.retry_policy()
+    }
+
+    fn recorder(&mut self) -> Option<&mut dyn Recorder> {
+        Some(&mut self.observer)
+    }
 }
 
 /// Instantaneous, loss-free delivery: the synchronous fast path used by
@@ -194,13 +386,22 @@ pub fn with_retry<T: Transport + ?Sized>(
     mut attempt: impl FnMut(&mut T) -> Result<(), TransportError>,
 ) -> Result<(), TransportError> {
     let policy = transport.retry_policy();
+    let mut tries = 1u64;
     let mut last = attempt(transport);
     for retry in 1..policy.attempts {
         if last.is_ok() {
             break;
         }
         transport.pause(policy.backoff.delay(retry - 1));
+        tries += 1;
         last = attempt(transport);
+    }
+    let gave_up = last.is_err();
+    if let Some(r) = transport.recorder() {
+        r.observe("exchange.attempts", tries);
+        if gave_up {
+            r.incr("exchange.gave_up", 1);
+        }
     }
     last
 }

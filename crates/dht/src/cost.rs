@@ -6,7 +6,7 @@
 //! hand-computed, so the reported numbers are the simulated numbers by
 //! construction.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Accumulates the cost of a (sequence of) distributed operation(s).
 #[derive(Debug, Clone, Default)]
@@ -21,8 +21,9 @@ pub struct CostLedger {
     /// partition — charged by simulated transports).
     dropped_messages: u64,
     /// Distinct-node visit counts: node id → number of times a message
-    /// was delivered to it.
-    visits: HashMap<u64, u64>,
+    /// was delivered to it. Ordered so that reports and snapshot digests
+    /// built by iterating it are byte-stable across runs.
+    visits: BTreeMap<u64, u64>,
 }
 
 impl CostLedger {
@@ -64,6 +65,11 @@ impl CostLedger {
     /// Visit count for a specific node (0 if never visited).
     pub fn visits_to(&self, node: u64) -> u64 {
         self.visits.get(&node).copied().unwrap_or(0)
+    }
+
+    /// All visit counts, in node-id order (deterministic iteration).
+    pub fn visits(&self) -> &BTreeMap<u64, u64> {
+        &self.visits
     }
 
     /// Charge `n` routing hops.

@@ -237,7 +237,8 @@ impl FingerTables {
 /// stale tables deliver them (possibly the wrong node, possibly nowhere),
 /// while storage reads and ID-space neighbor links reflect the live ring.
 ///
-/// Writes are not supported: [`Overlay::put_at`] panics. Insert through
+/// Writes are not supported: [`Overlay::put_at`](crate::overlay::Overlay::put_at)
+/// panics. Insert through
 /// the [`Ring`] directly; wrap it in a `StaleView` only for querying.
 #[derive(Debug, Clone, Copy)]
 pub struct StaleView<'a> {

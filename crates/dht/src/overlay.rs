@@ -8,6 +8,7 @@
 //! (XOR-metric) both implement it, and `dhs-core` is generic over it —
 //! which makes the claim checkable instead of rhetorical.
 
+use dhs_obs::Recorder;
 use rand::Rng;
 
 use crate::cost::CostLedger;
@@ -34,6 +35,22 @@ pub trait Overlay {
     /// Route a message from `from` to the owner of `key`, charging hops
     /// into the ledger. Returns the owner.
     fn route(&self, from: u64, key: u64, ledger: &mut CostLedger) -> u64;
+
+    /// [`route`](Self::route), additionally reporting the hop count of
+    /// this lookup into an observability [`Recorder`] (`route.hops`
+    /// histogram). Identical ledger charges and return value.
+    fn route_observed(
+        &self,
+        from: u64,
+        key: u64,
+        ledger: &mut CostLedger,
+        obs: &mut dyn Recorder,
+    ) -> u64 {
+        let before = ledger.hops();
+        let owner = self.route(from, key, ledger);
+        obs.observe("route.hops", ledger.hops() - before);
+        owner
+    }
 
     /// The alive node with the next-larger identifier (wrapping).
     fn next_node(&self, node: u64) -> u64;

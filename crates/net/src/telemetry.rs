@@ -219,6 +219,45 @@ impl NetTelemetry {
         }
         hash
     }
+
+    /// Exact latency percentile (in ticks) over delivered copies, `q` in
+    /// `[0, 1]`. Returns 0 when nothing was delivered.
+    pub fn latency_percentile(&self, q: f64) -> u64 {
+        let mut latencies: Vec<u64> = self
+            .records
+            .iter()
+            .filter_map(|r| match r.outcome {
+                Outcome::Delivered { at } => Some(at - r.sent_at),
+                _ => None,
+            })
+            .collect();
+        if latencies.is_empty() {
+            return 0;
+        }
+        latencies.sort_unstable();
+        let rank = ((latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).floor() as usize;
+        latencies[rank]
+    }
+
+    /// A human-readable multi-line summary of the trace: delivered and
+    /// dropped copies (by reason), duplicates, and the p50/p99 delivery
+    /// latency in ticks.
+    pub fn summary(&self) -> String {
+        format!(
+            "sent {}  delivered {}  dropped {} (loss {}, crash {}, partition {})  dup {}\n\
+             delivery ticks: mean {:.1}  p50 {}  p99 {}",
+            self.sent(),
+            self.delivered(),
+            self.dropped(),
+            self.dropped_by(DropReason::Loss),
+            self.dropped_by(DropReason::Crash),
+            self.dropped_by(DropReason::Partition),
+            self.duplicates(),
+            self.mean_latency(),
+            self.latency_percentile(0.50),
+            self.latency_percentile(0.99),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +307,30 @@ mod tests {
         t.push(rec(1, 1, Outcome::Delivered { at: 20 })); // overtook seq 0
         t.push(rec(2, 2, Outcome::Delivered { at: 60 }));
         assert_eq!(t.delivery_inversions(), 1);
+    }
+
+    #[test]
+    fn summary_reports_percentiles_and_reasons() {
+        let mut t = NetTelemetry::default();
+        for (i, at) in [10u64, 20, 30, 40].iter().enumerate() {
+            t.push(rec(i as u64, 0, Outcome::Delivered { at: *at }));
+        }
+        t.push(rec(
+            4,
+            0,
+            Outcome::Dropped {
+                reason: DropReason::Crash,
+            },
+        ));
+        assert_eq!(t.latency_percentile(0.0), 10);
+        assert_eq!(t.latency_percentile(0.5), 20);
+        assert_eq!(t.latency_percentile(1.0), 40);
+        let s = t.summary();
+        assert!(s.contains("sent 5"), "{s}");
+        assert!(s.contains("delivered 4"), "{s}");
+        assert!(s.contains("crash 1"), "{s}");
+        assert!(s.contains("p99 30"), "{s}");
+        assert_eq!(NetTelemetry::default().latency_percentile(0.5), 0);
     }
 
     #[test]

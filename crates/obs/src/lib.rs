@@ -1,0 +1,34 @@
+//! dhs-obs: unified observability for the DHS stack.
+//!
+//! Zero-dependency metrics, spans, and load-balance monitoring:
+//!
+//! - [`MetricsRegistry`] — named counters, gauges, and log-linear histograms
+//!   with p50/p90/p99/max quantiles, exported as deterministic JSONL.
+//! - [`SpanRecorder`] — lightweight hierarchical spans timed on the
+//!   simulator's virtual clock, kept in a bounded ring buffer with an
+//!   FNV-digestable JSONL trace.
+//! - [`LoadMonitor`] — per-node / per-bit-interval delivery accounting that
+//!   turns the paper's load-balance-by-construction claim into a live
+//!   Gini / max-min metric.
+//! - [`Recorder`] — the object-safe seam the rest of the stack reports
+//!   through; [`NoopRecorder`] makes instrumentation free when off, and
+//!   [`Observer`] bundles all three components behind it.
+//!
+//! Everything here is deterministic: `BTreeMap` storage, completion-order
+//! span export, and FNV-1a digests mean two same-seed runs produce
+//! byte-identical snapshots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fnv;
+pub mod load;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use fnv::{fnv1a, Fnv1a};
+pub use load::{LoadMonitor, LoadStats};
+pub use metrics::{LogLinearHistogram, MetricsRegistry};
+pub use recorder::{NoopRecorder, Observer, Recorder};
+pub use span::{SpanRecord, SpanRecorder, DEFAULT_SPAN_CAPACITY};

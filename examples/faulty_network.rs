@@ -10,7 +10,7 @@
 //! cargo run --release --example faulty_network
 //! ```
 
-use counting_at_large::dhs::{Dhs, DhsConfig, EstimatorKind, RetryPolicy, Transport};
+use counting_at_large::dhs::{Dhs, DhsConfig, EstimatorKind, RetryPolicy};
 use counting_at_large::dht::cost::CostLedger;
 use counting_at_large::dht::ring::{Ring, RingConfig};
 use counting_at_large::net::{FaultPlane, LatencyModel, SimConfig, SimTransport};
@@ -56,8 +56,8 @@ fn main() {
         1.05 / 512f64.sqrt() * 100.0
     );
     println!(
-        "{:>8}  {:>7}  {:>12}  {:>8}  {:>11}  {:>11}",
-        "loss", "retries", "estimate", "err", "drops/count", "ticks/count"
+        "{:>8}  {:>7}  {:>12}  {:>8}",
+        "loss", "retries", "estimate", "err"
     );
 
     for &loss in &[0.0, 0.05, 0.10, 0.20] {
@@ -87,8 +87,7 @@ fn main() {
             }
 
             let mut est_sum = 0.0;
-            let mut drops = 0;
-            let mut ticks = 0;
+            let mut count_telemetry = None;
             for trial in 0..TRIALS {
                 let mut count_net = transport(seed ^ (0xC0 + trial as u64), loss, retry);
                 let mut count_ledger = CostLedger::new();
@@ -102,20 +101,24 @@ fn main() {
                     &mut count_ledger,
                 );
                 est_sum += result.estimate;
-                drops += count_ledger.dropped_messages();
-                ticks += count_net.now();
+                if trial == 0 {
+                    count_telemetry = Some(count_net.into_telemetry());
+                }
             }
             let estimate = est_sum / TRIALS as f64;
             let err = (estimate - ITEMS as f64) / ITEMS as f64;
             println!(
-                "{:>7.0}%  {:>7}  {:>12.0}  {:>+7.1}%  {:>11.1}  {:>11.0}",
+                "{:>7.0}%  {:>7}  {:>12.0}  {:>+7.1}%",
                 loss * 100.0,
                 if with_retry { "on" } else { "off" },
                 estimate,
                 err * 100.0,
-                drops as f64 / TRIALS as f64,
-                ticks as f64 / TRIALS as f64,
             );
+            // What the network did to the first count, straight from the
+            // per-message telemetry.
+            for line in count_telemetry.expect("TRIALS > 0").summary().lines() {
+                println!("            {line}");
+            }
         }
     }
     println!(

@@ -1,8 +1,23 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints, tests. Run before every push.
+# Repo gate: formatting, lints, tests, docs, examples. Run before every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+cargo build --workspace --examples
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+# Observability determinism self-check: the instrumented example must
+# replay byte-identically — two same-seed runs, compared as raw stdout
+# (metrics JSONL, span digests, load table and all).
+run_a=$(mktemp)
+run_b=$(mktemp)
+trap 'rm -f "$run_a" "$run_b"' EXIT
+cargo run --release --quiet --example observability > "$run_a"
+cargo run --release --quiet --example observability > "$run_b"
+cmp "$run_a" "$run_b"
+echo "observability example: two runs byte-identical"
+
+echo "all checks passed"

@@ -17,6 +17,9 @@
 //! * [`dhs`] — Distributed Hash Sketches: the paper's contribution
 //!   (interval mapping, insertion, the Alg. 1 counting procedure,
 //!   soft-state maintenance, multi-metric counting).
+//! * [`obs`] — unified observability: metrics registry, hierarchical
+//!   spans on the virtual clock, and the per-interval load monitor that
+//!   turns the paper's load-balance claim into a live metric.
 //! * [`histogram`] — equi-width histograms over DHS, selectivity
 //!   estimation and join-order optimization (paper §4.3/§5).
 //! * [`baselines`] — the related-work counting protocols the paper
@@ -30,5 +33,6 @@ pub use dhs_core as dhs;
 pub use dhs_dht as dht;
 pub use dhs_histogram as histogram;
 pub use dhs_net as net;
+pub use dhs_obs as obs;
 pub use dhs_sketch as sketch;
 pub use dhs_workload as workload;
