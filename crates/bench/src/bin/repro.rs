@@ -36,13 +36,16 @@ const EXPERIMENTS: &[Experiment] = &[
     ("geometry", experiments::geometry),
     ("network", experiments::network),
     ("loadbalance", experiments::load_balance),
+    ("fastpath", experiments::fastpath),
 ];
 
 fn usage() -> String {
     let names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
     format!(
-        "usage: repro <experiment|all> [--scale F] [--nodes N] [--seed S] \
-         [--trials T] [--m M] [--k K] [--quick]\nexperiments: {}",
+        "usage: repro <experiment|all|bench> [--scale F] [--nodes N] [--seed S] \
+         [--trials T] [--m M] [--k K] [--quick]\n\
+         bench: emit BENCH_dhs.json (baseline vs dhs-fast headline numbers)\n\
+         experiments: {}",
         names.join(", ")
     )
 }
@@ -95,6 +98,17 @@ fn main() -> ExitCode {
     }
     if quick {
         exp = exp.quick();
+    }
+
+    if which == "bench" {
+        let json = experiments::fastpath_bench_json(&exp);
+        print!("{json}");
+        if let Err(e) = std::fs::write("BENCH_dhs.json", &json) {
+            eprintln!("could not write BENCH_dhs.json: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote BENCH_dhs.json");
+        return ExitCode::SUCCESS;
     }
 
     let selected: Vec<&Experiment> = if which == "all" {

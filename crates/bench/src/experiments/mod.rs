@@ -3,6 +3,7 @@
 mod ablations;
 mod accuracy;
 mod baselines_cmp;
+mod fastpath;
 mod geometry;
 mod hist;
 mod insertion_costs;
@@ -18,6 +19,7 @@ pub use ablations::{
 };
 pub use accuracy::accuracy;
 pub use baselines_cmp::baselines;
+pub use fastpath::{fastpath, fastpath_bench_json};
 pub use geometry::geometry;
 pub use hist::{hist_accuracy, table3};
 pub use insertion_costs::insertion;

@@ -101,6 +101,10 @@ pub enum ConfigError {
     KeyBitsOutOfRange(u32),
     /// `m` must be a power of two ≥ 1.
     BitmapsNotPowerOfTwo(usize),
+    /// `m` must fit in a `u16` vector index (`m ≤ 65536`): `classify`
+    /// masks the low `log2(m)` key bits into a `u16`, so a larger `m`
+    /// would silently truncate vector indices.
+    TooManyBitmaps(usize),
     /// After splitting off `log2(m)` bucket bits, no rank bits remain
     /// (`k ≤ log2(m)`).
     NoRankBits {
@@ -131,6 +135,9 @@ impl fmt::Display for ConfigError {
             ConfigError::BitmapsNotPowerOfTwo(m) => {
                 write!(f, "m = {m} is not a power of two ≥ 1")
             }
+            ConfigError::TooManyBitmaps(m) => {
+                write!(f, "m = {m} exceeds 65536 (vector indices are u16)")
+            }
             ConfigError::NoRankBits { k, m } => {
                 write!(f, "k = {k} leaves no rank bits after m = {m} bucket bits")
             }
@@ -160,6 +167,9 @@ impl DhsConfig {
         }
         if self.m == 0 || !self.m.is_power_of_two() {
             return Err(ConfigError::BitmapsNotPowerOfTwo(self.m));
+        }
+        if self.m > 1 << 16 {
+            return Err(ConfigError::TooManyBitmaps(self.m));
         }
         if self.bucket_bits() >= self.k {
             return Err(ConfigError::NoRankBits {
@@ -280,6 +290,28 @@ mod tests {
             cfg.validate(),
             Err(ConfigError::BitmapsNotPowerOfTwo(100))
         ));
+    }
+
+    #[test]
+    fn oversized_m_rejected() {
+        // Regression: classify() narrows the vector index to u16, so any
+        // m > 2^16 would silently alias vectors. 2^16 itself is the last
+        // representable size (indices 0..65535) and must stay accepted.
+        let cfg = DhsConfig {
+            k: 64,
+            m: 1 << 17,
+            ..DhsConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::TooManyBitmaps(m)) if m == 1 << 17
+        ));
+        let cfg = DhsConfig {
+            k: 64,
+            m: 1 << 16,
+            ..DhsConfig::default()
+        };
+        cfg.validate().unwrap();
     }
 
     #[test]

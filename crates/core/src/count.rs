@@ -30,6 +30,7 @@ use dhs_sketch::{
 };
 
 use crate::config::EstimatorKind;
+use crate::fast::ScanHint;
 use crate::insert::Dhs;
 use crate::intervals::{interval_for_rank, IdInterval};
 use crate::stats::{CountResult, CountStats};
@@ -233,13 +234,128 @@ impl Dhs {
         rng: &mut impl Rng,
         ledger: &mut CostLedger,
     ) -> Vec<CountResult> {
+        self.count_multi_inner(ring, transport, metrics, origin, rng, ledger, None)
+    }
+
+    /// [`Self::count`] with an adaptive scan start: the downward scan
+    /// begins at the rank a remembered prior estimate bounds, instead of
+    /// at the top of the key space. Registers and estimate are identical
+    /// to the full scan's (see [`Self::count_multi_hinted_via`]); only
+    /// the cost shrinks. The result updates `hint` for the next call.
+    pub fn count_hinted<O: Overlay>(
+        &self,
+        ring: &O,
+        hint: &mut ScanHint,
+        metric: MetricId,
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> CountResult {
+        self.count_multi_hinted(ring, hint, &[metric], origin, rng, ledger)
+            .pop()
+            .expect("one metric in, one result out")
+    }
+
+    /// [`Self::count_hinted`] over an explicit [`Transport`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn count_hinted_via<O: Overlay, T: Transport>(
+        &self,
+        ring: &O,
+        transport: &mut T,
+        hint: &mut ScanHint,
+        metric: MetricId,
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> CountResult {
+        self.count_multi_hinted_via(ring, transport, hint, &[metric], origin, rng, ledger)
+            .pop()
+            .expect("one metric in, one result out")
+    }
+
+    /// Multi-metric [`Self::count_hinted`].
+    pub fn count_multi_hinted<O: Overlay>(
+        &self,
+        ring: &O,
+        hint: &mut ScanHint,
+        metrics: &[MetricId],
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> Vec<CountResult> {
+        self.count_multi_hinted_via(
+            ring,
+            &mut DirectTransport,
+            hint,
+            metrics,
+            origin,
+            rng,
+            ledger,
+        )
+    }
+
+    /// [`Self::count_multi_hinted`] over an explicit [`Transport`].
+    ///
+    /// The hint only licenses two *exact* shortcuts above the start rank:
+    /// structurally empty intervals (ranks ≥ `rank_bits()`, which
+    /// insertion can never populate) are skipped outright, and intervals
+    /// wholly owned by a single node are concluded with that one probe
+    /// (it holds every tuple of the interval). Any other interval above
+    /// the hint is scanned exactly like the full scan, and the interval-
+    /// key RNG draws are preserved for skipped ranks — so over a reliable
+    /// transport, same-seed hinted and unhinted counts return
+    /// byte-identical registers and estimates no matter how wrong the
+    /// prior was. PCSA scans upward and ignores hints.
+    #[allow(clippy::too_many_arguments)]
+    pub fn count_multi_hinted_via<O: Overlay, T: Transport>(
+        &self,
+        ring: &O,
+        transport: &mut T,
+        hint: &mut ScanHint,
+        metrics: &[MetricId],
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> Vec<CountResult> {
+        let start = match self.config().estimator {
+            EstimatorKind::Pcsa => None,
+            _ => hint.start_rank(self.config(), metrics),
+        };
+        if let Some(r) = transport.recorder() {
+            let key = if start.is_some() {
+                "count.hint.warm"
+            } else {
+                "count.hint.cold"
+            };
+            r.incr(key, 1);
+        }
+        let results = self.count_multi_inner(ring, transport, metrics, origin, rng, ledger, start);
+        for result in &results {
+            hint.record(result.metric, result.estimate);
+        }
+        results
+    }
+
+    /// Shared `count_multi` body; `hint` is the start rank of an adaptive
+    /// scan (`None` = full scan).
+    #[allow(clippy::too_many_arguments)]
+    fn count_multi_inner<O: Overlay, T: Transport>(
+        &self,
+        ring: &O,
+        transport: &mut T,
+        metrics: &[MetricId],
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+        hint: Option<u32>,
+    ) -> Vec<CountResult> {
         assert!(!metrics.is_empty(), "count_multi needs at least one metric");
         let span = start_span(transport, "count", metrics.len() as u64);
         let results = match self.config().estimator {
             // HyperLogLog shares super-LogLog's storage and top-down scan;
             // only the register→estimate formula differs.
             EstimatorKind::SuperLogLog | EstimatorKind::HyperLogLog => {
-                self.count_max_rank(ring, transport, metrics, origin, rng, ledger)
+                self.count_max_rank(ring, transport, metrics, origin, rng, ledger, hint)
             }
             EstimatorKind::Pcsa => self.count_pcsa(ring, transport, metrics, origin, rng, ledger),
         };
@@ -249,6 +365,9 @@ impl Dhs {
             r.observe("op.count.bytes", stats.bytes);
             r.observe("op.count.hops", stats.hops);
             r.observe("op.count.probes", stats.probes);
+            if stats.intervals_skipped > 0 {
+                r.incr("count.hint.skipped", u64::from(stats.intervals_skipped));
+            }
         }
         end_span(transport, span);
         results
@@ -257,6 +376,7 @@ impl Dhs {
     /// DHS-sLL / DHS-HLL: scan bit positions from most to least
     /// significant; the first interval where a vector's bit is found is
     /// its max rank.
+    #[allow(clippy::too_many_arguments)]
     fn count_max_rank<O: Overlay, T: Transport>(
         &self,
         ring: &O,
@@ -265,6 +385,7 @@ impl Dhs {
         origin: u64,
         rng: &mut impl Rng,
         ledger: &mut CostLedger,
+        hint: Option<u32>,
     ) -> Vec<CountResult> {
         let cfg = *self.config();
         let m = cfg.m;
@@ -286,13 +407,39 @@ impl Dhs {
             if unresolved == 0 {
                 break;
             }
+            let above_hint = hint.is_some_and(|h| rank > h);
+            if above_hint && rank >= cfg.rank_bits() {
+                // Structurally empty: `classify` saturates ranks at
+                // rank_bits − 1, so no insertion can ever populate this
+                // interval. Draw (and discard) the interval key the full
+                // scan would have drawn, keeping the RNG stream — and
+                // therefore every later probe — byte-identical.
+                let interval = interval_for_rank(&cfg, rank);
+                let _ = prober.rng.gen_range(interval.lo..=interval.hi);
+                stats.intervals_skipped += 1;
+                continue;
+            }
+            // Above the hint a single-owner interval is concluded by its
+            // one owner: every tuple of the interval lives there (the
+            // owner's range covers the whole interval), so walk retries
+            // cannot change the outcome.
+            let attempts = if above_hint {
+                let interval = interval_for_rank(&cfg, rank);
+                if ring.owner_of(interval.lo) == ring.owner_of(interval.hi) {
+                    1
+                } else {
+                    cfg.lim
+                }
+            } else {
+                cfg.lim
+            };
             let interval_span = start_span(prober.transport, "interval", u64::from(rank));
             let Some((mut walk, mut target)) = prober.open_interval(rank, ledger, &mut stats)
             else {
                 end_span(prober.transport, interval_span);
                 continue; // lookup unreachable: skip this interval
             };
-            for attempt in 0..cfg.lim {
+            for attempt in 0..attempts {
                 let kind = if attempt > 0 {
                     target = walk.next_target();
                     ledger.charge_hops(1);

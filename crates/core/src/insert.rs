@@ -16,6 +16,8 @@
 //! group with a single lookup, touching at most `k` nodes per round
 //! ([`Dhs::bulk_insert`]).
 
+use std::collections::BTreeMap;
+
 use rand::Rng;
 
 use dhs_dht::cost::CostLedger;
@@ -24,6 +26,7 @@ use dhs_dht::storage::StoredRecord;
 use dhs_sketch::rho::{lsb, rho};
 
 use crate::config::{ConfigError, DhsConfig};
+use crate::fast::EpochCache;
 use crate::intervals::interval_for_rank;
 use crate::transport::{end_span, start_span, with_retry, DirectTransport, MessageKind, Transport};
 use crate::tuple::{DhsTuple, MetricId};
@@ -118,7 +121,8 @@ impl Dhs {
         };
         let span = start_span(transport, "insert", u64::from(rank));
         let bytes_before = ledger.bytes();
-        self.store_tuples(ring, transport, &[tuple], rank, origin, rng, ledger);
+        let groups = [(rank, vec![tuple])];
+        self.store_grouped(ring, transport, &groups, origin, rng, ledger);
         let bytes = ledger.bytes() - bytes_before;
         if let Some(r) = transport.recorder() {
             r.incr("op.insert", 1);
@@ -176,23 +180,172 @@ impl Dhs {
                 groups[rank as usize].push(vector);
             }
         }
-        let mut shipped = 0;
-        for (rank, mut vectors) in groups.into_iter().enumerate() {
-            if vectors.is_empty() {
-                continue;
+        let grouped = Self::rank_groups(metric, groups);
+        let shipped = grouped.iter().map(|(_, t)| t.len()).sum::<usize>();
+        self.store_grouped(ring, transport, &grouped, origin, rng, ledger);
+        if let Some(r) = transport.recorder() {
+            r.incr("op.bulk_insert", 1);
+            r.incr("op.bulk_insert.tuples", shipped as u64);
+        }
+        end_span(transport, span);
+        shipped
+    }
+
+    /// [`Self::insert`] with an origin-side [`EpochCache`]: a tuple this
+    /// origin already stored in the current TTL epoch is elided outright —
+    /// no routing key is drawn, no message is sent — because re-storing it
+    /// could only refresh a timestamp that already outlives the epoch.
+    ///
+    /// Return value matches [`Self::insert`]: `false` only for bit-shift
+    /// elision, `true` whenever the bit is (already) recorded.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_cached<O: Overlay>(
+        &self,
+        ring: &mut O,
+        cache: &mut EpochCache,
+        metric: MetricId,
+        item_key: u64,
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> bool {
+        self.insert_cached_via(
+            ring,
+            &mut DirectTransport,
+            cache,
+            metric,
+            item_key,
+            origin,
+            rng,
+            ledger,
+        )
+    }
+
+    /// [`Self::insert_cached`] over an explicit [`Transport`]. The cache
+    /// is only marked when the store actually went through, so a lost
+    /// store stays retryable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_cached_via<O: Overlay, T: Transport>(
+        &self,
+        ring: &mut O,
+        transport: &mut T,
+        cache: &mut EpochCache,
+        metric: MetricId,
+        item_key: u64,
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> bool {
+        let (vector, rank) = self.classify(item_key);
+        if rank < self.cfg.bit_shift {
+            if let Some(r) = transport.recorder() {
+                r.incr("op.insert.elided", 1);
             }
-            vectors.sort_unstable();
-            vectors.dedup();
-            let tuples: Vec<DhsTuple> = vectors
-                .into_iter()
-                .map(|vector| DhsTuple {
-                    metric,
-                    vector,
-                    bit: rank as u8,
-                })
-                .collect();
-            shipped += tuples.len();
-            self.store_tuples(ring, transport, &tuples, rank as u32, origin, rng, ledger);
+            return false;
+        }
+        if cache.probe(metric, vector, rank) {
+            if let Some(r) = transport.recorder() {
+                r.incr("cache.hit", 1);
+            }
+            return true;
+        }
+        if let Some(r) = transport.recorder() {
+            r.incr("cache.miss", 1);
+        }
+        let tuple = DhsTuple {
+            metric,
+            vector,
+            bit: rank as u8,
+        };
+        let span = start_span(transport, "insert", u64::from(rank));
+        let bytes_before = ledger.bytes();
+        let groups = [(rank, vec![tuple])];
+        let ok = self.store_grouped(ring, transport, &groups, origin, rng, ledger);
+        let bytes = ledger.bytes() - bytes_before;
+        if let Some(r) = transport.recorder() {
+            r.incr("op.insert", 1);
+            r.observe("op.insert.bytes", bytes);
+        }
+        end_span(transport, span);
+        if ok[0] {
+            cache.mark(metric, vector, rank);
+        }
+        true
+    }
+
+    /// [`Self::bulk_insert`] with an origin-side [`EpochCache`]: tuples
+    /// already stored this epoch are dropped before grouping, so a hot
+    /// batch costs at most one message per rank whose group has *new*
+    /// tuples. Returns the number of tuples actually shipped.
+    #[allow(clippy::too_many_arguments)]
+    pub fn bulk_insert_cached<O: Overlay>(
+        &self,
+        ring: &mut O,
+        cache: &mut EpochCache,
+        metric: MetricId,
+        item_keys: &[u64],
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> usize {
+        self.bulk_insert_cached_via(
+            ring,
+            &mut DirectTransport,
+            cache,
+            metric,
+            item_keys,
+            origin,
+            rng,
+            ledger,
+        )
+    }
+
+    /// [`Self::bulk_insert_cached`] over an explicit [`Transport`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn bulk_insert_cached_via<O: Overlay, T: Transport>(
+        &self,
+        ring: &mut O,
+        transport: &mut T,
+        cache: &mut EpochCache,
+        metric: MetricId,
+        item_keys: &[u64],
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> usize {
+        let span = start_span(transport, "bulk_insert", item_keys.len() as u64);
+        let rank_count = self.cfg.rank_bits() as usize;
+        let mut groups: Vec<Vec<u16>> = vec![Vec::new(); rank_count];
+        for &key in item_keys {
+            let (vector, rank) = self.classify(key);
+            if rank >= self.cfg.bit_shift {
+                groups[rank as usize].push(vector);
+            }
+        }
+        let mut hits = 0u64;
+        let mut grouped = Self::rank_groups(metric, groups);
+        for (rank, tuples) in &mut grouped {
+            tuples.retain(|t| {
+                let fresh = !cache.probe(metric, t.vector, *rank);
+                if !fresh {
+                    hits += 1;
+                }
+                fresh
+            });
+        }
+        grouped.retain(|(_, tuples)| !tuples.is_empty());
+        let shipped = grouped.iter().map(|(_, t)| t.len()).sum::<usize>();
+        if let Some(r) = transport.recorder() {
+            r.incr("cache.hit", hits);
+            r.incr("cache.miss", shipped as u64);
+        }
+        let ok = self.store_grouped(ring, transport, &grouped, origin, rng, ledger);
+        for (stored, (rank, tuples)) in ok.iter().zip(&grouped) {
+            if *stored {
+                for t in tuples {
+                    cache.mark(metric, t.vector, *rank);
+                }
+            }
         }
         if let Some(r) = transport.recorder() {
             r.incr("op.bulk_insert", 1);
@@ -202,8 +355,39 @@ impl Dhs {
         shipped
     }
 
-    /// Route to a random key in `rank`'s interval and store `tuples` at
-    /// the owner (plus `R − 1` successor replicas).
+    /// Turn per-rank vector lists into sorted, deduplicated tuple groups
+    /// in ascending rank order (the order whose routing-key draws define
+    /// the insertion RNG stream).
+    fn rank_groups(metric: MetricId, groups: Vec<Vec<u16>>) -> Vec<(u32, Vec<DhsTuple>)> {
+        groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, vectors)| !vectors.is_empty())
+            .map(|(rank, mut vectors)| {
+                vectors.sort_unstable();
+                vectors.dedup();
+                let tuples = vectors
+                    .into_iter()
+                    .map(|vector| DhsTuple {
+                        metric,
+                        vector,
+                        bit: rank as u8,
+                    })
+                    .collect();
+                (rank as u32, tuples)
+            })
+            .collect()
+    }
+
+    /// Store each `(rank, tuples)` group at a random key in the rank's
+    /// interval, batching groups that resolve to the *same owner* into a
+    /// single `MessageKind::Store` (per-message overhead is charged once
+    /// per owner, not once per rank). Returns per-group success.
+    ///
+    /// Pass 1 draws every group's routing key in caller order — the exact
+    /// RNG stream of per-group stores — so batching changes message
+    /// counts but never placement: each tuple lands on precisely the node
+    /// (and replicas) it would have reached unbatched.
     ///
     /// Each send goes through `transport` under its retry policy; every
     /// attempt re-routes and re-charges (the resent message crosses the
@@ -211,68 +395,92 @@ impl Dhs {
     /// nothing; a lost replica leg breaks the successor forwarding chain
     /// at that point.
     #[allow(clippy::too_many_arguments)]
-    fn store_tuples<O: Overlay, T: Transport>(
+    fn store_grouped<O: Overlay, T: Transport>(
         &self,
         ring: &mut O,
         transport: &mut T,
-        tuples: &[DhsTuple],
-        rank: u32,
+        groups: &[(u32, Vec<DhsTuple>)],
         origin: u64,
         rng: &mut impl Rng,
         ledger: &mut CostLedger,
-    ) {
-        let interval = interval_for_rank(&self.cfg, rank);
-        let routing_key = rng.gen_range(interval.lo..=interval.hi);
-        let payload = u64::from(self.cfg.tuple_bytes) * tuples.len() as u64;
-        let owner = ring.owner_of(routing_key);
-        let route_span = start_span(transport, "route", u64::from(rank));
-        let sent = with_retry(transport, |t| {
-            let hops_before = ledger.hops();
-            match t.recorder() {
-                Some(obs) => ring.route_observed(origin, routing_key, ledger, obs),
-                None => ring.route(origin, routing_key, ledger),
-            };
-            let hops = ledger.hops() - hops_before;
-            // One logical message carrying the payload across `hops` hops.
-            t.routed_exchange(origin, owner, hops, MessageKind::Store, payload, 0, ledger)
-        });
-        end_span(transport, route_span);
-        if sent.is_err() {
+    ) -> Vec<bool> {
+        // Pass 1: routing-key draws, in caller (ascending-rank) order.
+        let placements: Vec<(u64, u64)> = groups
+            .iter()
+            .map(|&(rank, _)| {
+                let interval = interval_for_rank(&self.cfg, rank);
+                let routing_key = rng.gen_range(interval.lo..=interval.hi);
+                (routing_key, ring.owner_of(routing_key))
+            })
+            .collect();
+        // Pass 2: one Store message per distinct owner.
+        let mut by_owner: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, &(_, owner)) in placements.iter().enumerate() {
+            by_owner.entry(owner).or_default().push(i);
+        }
+        let mut ok = vec![false; groups.len()];
+        for (&owner, members) in &by_owner {
+            let tuple_count: usize = members.iter().map(|&i| groups[i].1.len()).sum();
+            let payload = u64::from(self.cfg.tuple_bytes) * tuple_count as u64;
+            let routing_key = placements[members[0]].0;
+            let route_span = start_span(transport, "route", tuple_count as u64);
+            let sent = with_retry(transport, |t| {
+                let hops_before = ledger.hops();
+                match t.recorder() {
+                    Some(obs) => ring.route_observed(origin, routing_key, ledger, obs),
+                    None => ring.route(origin, routing_key, ledger),
+                };
+                let hops = ledger.hops() - hops_before;
+                // One logical message carrying the payload across `hops` hops.
+                t.routed_exchange(origin, owner, hops, MessageKind::Store, payload, 0, ledger)
+            });
+            end_span(transport, route_span);
             if let Some(r) = transport.recorder() {
-                r.incr("op.store.lost", 1);
+                r.observe("batch.size", tuple_count as u64);
             }
-            return; // every attempt timed out: the tuples are lost
-        }
+            if sent.is_err() {
+                if let Some(r) = transport.recorder() {
+                    r.incr("op.store.lost", 1);
+                }
+                continue; // every attempt timed out: these tuples are lost
+            }
+            for &i in members {
+                ok[i] = true;
+            }
 
-        let expires_at = ring.time().saturating_add(self.cfg.ttl);
-        let record = StoredRecord {
-            expires_at,
-            size_bytes: self.cfg.tuple_bytes,
-            routing_key,
-        };
-        let store_span = start_span(transport, "store", tuples.len() as u64);
-        let mut holder = owner;
-        for replica in 0..self.cfg.replication {
-            if replica > 0 {
-                let next = ring.next_node(holder);
-                if next == owner {
-                    break; // ring smaller than the replication degree
+            let expires_at = ring.time().saturating_add(self.cfg.ttl);
+            let store_span = start_span(transport, "store", tuple_count as u64);
+            let mut holder = owner;
+            for replica in 0..self.cfg.replication {
+                if replica > 0 {
+                    let next = ring.next_node(holder);
+                    if next == owner {
+                        break; // ring smaller than the replication degree
+                    }
+                    ledger.charge_hops(1);
+                    let leg = with_retry(transport, |t| {
+                        t.exchange(holder, next, MessageKind::Store, payload, 0, ledger)
+                    });
+                    if leg.is_err() {
+                        break; // forwarding chain broken at this successor
+                    }
+                    holder = next;
+                    ledger.record_visit(holder);
                 }
-                ledger.charge_hops(1);
-                let leg = with_retry(transport, |t| {
-                    t.exchange(holder, next, MessageKind::Store, payload, 0, ledger)
-                });
-                if leg.is_err() {
-                    break; // forwarding chain broken at this successor
+                for &i in members {
+                    let record = StoredRecord {
+                        expires_at,
+                        size_bytes: self.cfg.tuple_bytes,
+                        routing_key: placements[i].0,
+                    };
+                    for tuple in &groups[i].1 {
+                        ring.put_at(holder, tuple.app_key(), record);
+                    }
                 }
-                holder = next;
-                ledger.record_visit(holder);
             }
-            for tuple in tuples {
-                ring.put_at(holder, tuple.app_key(), record);
-            }
+            end_span(transport, store_span);
         }
-        end_span(transport, store_span);
+        ok
     }
 }
 

@@ -57,6 +57,7 @@
 pub mod adaptive;
 pub mod config;
 pub mod count;
+pub mod fast;
 pub mod insert;
 pub mod intervals;
 pub mod maintenance;
@@ -66,6 +67,7 @@ pub mod transport;
 pub mod tuple;
 
 pub use config::{ConfigError, DhsConfig, EstimatorKind};
+pub use fast::{EpochCache, ScanHint};
 pub use insert::Dhs;
 pub use retry::{Backoff, RetryPolicy};
 pub use stats::CountResult;

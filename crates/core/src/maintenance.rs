@@ -19,6 +19,7 @@ use rand::Rng;
 use dhs_dht::cost::CostLedger;
 use dhs_dht::overlay::Overlay;
 
+use crate::fast::EpochCache;
 use crate::insert::Dhs;
 use crate::transport::{end_span, start_span, DirectTransport, MessageKind, Transport};
 use crate::tuple::MetricId;
@@ -65,6 +66,66 @@ pub fn refresh_round_via<O: Overlay, T: Transport>(
 ) -> usize {
     let span = start_span(transport, "refresh", item_keys.len() as u64);
     let shipped = dhs.bulk_insert_via(ring, transport, metric, item_keys, origin, rng, ledger);
+    if let Some(r) = transport.recorder() {
+        r.incr("op.refresh", 1);
+        r.incr("op.refresh.tuples", shipped as u64);
+    }
+    end_span(transport, span);
+    shipped
+}
+
+/// [`refresh_round`] with an origin-side [`EpochCache`]: rolls the cache
+/// into a **new epoch first** (so this round re-stores — and thereby
+/// renews — every live tuple, exactly like the uncached refresh), then
+/// leaves the cache primed so that insertions between this round and the
+/// next skip tuples the refresh already covered.
+///
+/// Soundness requires the refresh period ≤ the TTL, the same bound the
+/// uncached refresh already lives under: every elided re-insertion this
+/// epoch targets a tuple stored after the roll, whose expiry outlives the
+/// epoch.
+#[allow(clippy::too_many_arguments)]
+pub fn refresh_round_cached<O: Overlay>(
+    dhs: &Dhs,
+    ring: &mut O,
+    cache: &mut EpochCache,
+    metric: MetricId,
+    item_keys: &[u64],
+    origin: u64,
+    rng: &mut impl Rng,
+    ledger: &mut CostLedger,
+) -> usize {
+    refresh_round_cached_via(
+        dhs,
+        ring,
+        &mut DirectTransport,
+        cache,
+        metric,
+        item_keys,
+        origin,
+        rng,
+        ledger,
+    )
+}
+
+/// [`refresh_round_cached`] over an explicit [`Transport`].
+#[allow(clippy::too_many_arguments)]
+pub fn refresh_round_cached_via<O: Overlay, T: Transport>(
+    dhs: &Dhs,
+    ring: &mut O,
+    transport: &mut T,
+    cache: &mut EpochCache,
+    metric: MetricId,
+    item_keys: &[u64],
+    origin: u64,
+    rng: &mut impl Rng,
+    ledger: &mut CostLedger,
+) -> usize {
+    cache.roll_epoch();
+    let span = start_span(transport, "refresh", item_keys.len() as u64);
+    let shipped = dhs.bulk_insert_cached_via(
+        ring, transport, cache, metric, item_keys, origin, rng, ledger,
+    );
     if let Some(r) = transport.recorder() {
         r.incr("op.refresh", 1);
         r.incr("op.refresh.tuples", shipped as u64);

@@ -21,6 +21,10 @@ pub struct CountStats {
     pub bytes: u64,
     /// Number of ID-space intervals scanned before resolution.
     pub intervals_scanned: u32,
+    /// Number of intervals a hinted scan elided without any lookup
+    /// (provably empty above the hint rank — see [`crate::fast::ScanHint`]).
+    /// Always 0 for unhinted scans.
+    pub intervals_skipped: u32,
 }
 
 /// The outcome of estimating one metric.

@@ -55,6 +55,7 @@ pub mod id;
 pub mod kademlia;
 pub mod overlay;
 pub mod ring;
+pub mod route_cache;
 pub mod storage;
 
 pub use cost::CostLedger;
@@ -63,4 +64,5 @@ pub use id::{cw_contains, cw_distance};
 pub use kademlia::Kademlia;
 pub use overlay::Overlay;
 pub use ring::{Ring, RingConfig};
+pub use route_cache::{CachedOverlay, RouteCache, RouteCacheStats};
 pub use storage::{NodeStore, StoredRecord};

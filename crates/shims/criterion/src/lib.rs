@@ -164,9 +164,18 @@ pub struct Criterion {
 }
 
 impl Default for Criterion {
+    /// ~200 ms measurement window per benchmark, overridable with the
+    /// `DHS_BENCH_MS` environment variable — CI's quick mode runs the
+    /// whole suite with `DHS_BENCH_MS=25` to smoke-test every bench
+    /// target without paying full measurement windows.
     fn default() -> Self {
+        let millis = std::env::var("DHS_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .unwrap_or(200);
         Criterion {
-            target: Duration::from_millis(200),
+            target: Duration::from_millis(millis),
         }
     }
 }

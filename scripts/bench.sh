@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Reproduce the headline dhs-fast numbers: builds the workspace in
+# release mode, runs the `repro bench` subcommand, and leaves the
+# baseline-vs-optimized comparison in BENCH_dhs.json at the repo root.
+#
+# Extra flags are forwarded to repro (e.g. `scripts/bench.sh --quick`,
+# `scripts/bench.sh --nodes 256 --seed 7`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo run --release -p dhs-bench --bin repro -- bench "$@"

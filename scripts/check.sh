@@ -9,6 +9,10 @@ cargo test --workspace -q
 cargo build --workspace --examples
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+# Criterion benches in quick mode: a 25 ms measurement window per target
+# smoke-tests every bench without paying full measurement time.
+DHS_BENCH_MS=25 cargo bench --workspace --quiet
+
 # Observability determinism self-check: the instrumented example must
 # replay byte-identically — two same-seed runs, compared as raw stdout
 # (metrics JSONL, span digests, load table and all).

@@ -152,6 +152,59 @@ proptest! {
         prop_assert_eq!(dhs.classify(a), dhs.classify(b));
     }
 
+    /// Bulk insertion is observationally equivalent to item-by-item
+    /// insertion: same distinct stored tuples, bit-equal exhaustive
+    /// estimate — and strictly fewer messages (duplicates collapse and
+    /// same-owner rank groups share one store message).
+    #[test]
+    fn bulk_insert_equivalent_to_item_by_item(seed in any::<u64>(), n in 8u64..400, domain in 2u64..64) {
+        use rand::SeedableRng;
+        use std::collections::BTreeSet;
+        let nodes = 16;
+        let cfg = DhsConfig { m: 16, k: 20, ..DhsConfig::default() };
+        let dhs = Dhs::new(cfg).unwrap();
+        let hasher = SplitMix64::default();
+        // Small key domain: the stream is guaranteed to contain duplicates.
+        let keys: Vec<u64> = (0..n).map(|i| hasher.hash_u64(i % domain)).collect();
+
+        let live_set = |ring: &Ring| -> BTreeSet<u64> {
+            let now = ring.now();
+            ring.alive_ids()
+                .iter()
+                .flat_map(|&node| ring.store_of(node).unwrap().iter())
+                .filter(|(_, rec)| rec.expires_at > now)
+                .map(|(k, _)| k)
+                .collect()
+        };
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut item_ring = Ring::build(nodes, RingConfig::default(), &mut rng);
+        let origin = item_ring.alive_ids()[0];
+        let mut item_ledger = CostLedger::new();
+        for &k in &keys {
+            dhs.insert(&mut item_ring, 1, k, origin, &mut rng, &mut item_ledger);
+        }
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut bulk_ring = Ring::build(nodes, RingConfig::default(), &mut rng);
+        let mut bulk_ledger = CostLedger::new();
+        dhs.bulk_insert(&mut bulk_ring, 1, &keys, origin, &mut rng, &mut bulk_ledger);
+
+        prop_assert_eq!(live_set(&item_ring), live_set(&bulk_ring));
+        prop_assert!(bulk_ledger.messages() < item_ledger.messages(),
+            "bulk {} vs item {}", bulk_ledger.messages(), item_ledger.messages());
+
+        // Exhaustive probing (lim = node count covers every node) makes
+        // the registers a pure function of the stored set: bit-equal.
+        let exhaustive = Dhs::new(DhsConfig { lim: nodes as u32, ..cfg }).unwrap();
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let a = exhaustive.count(&item_ring, 1, origin, &mut rng_a, &mut CostLedger::new());
+        let b = exhaustive.count(&bulk_ring, 1, origin, &mut rng_b, &mut CostLedger::new());
+        prop_assert_eq!(a.registers, b.registers);
+        prop_assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+    }
+
     /// Counting never panics and returns a finite non-negative estimate
     /// for arbitrary small populations (including empty).
     #[test]

@@ -1,0 +1,107 @@
+//! Route-cache invalidation under churn: after any mix of failures,
+//! graceful leaves, and joins, a cached lookup must never resolve to a
+//! departed owner, and must always agree with the authoritative overlay.
+//!
+//! The cache validates every candidate against `inner.owner_of` before
+//! trusting it (stale entries cost one wasted hop and are evicted), so
+//! correctness here is by construction — these tests pin that property
+//! against the churn paths that create staleness in the first place.
+
+use counting_at_large::dht::cost::CostLedger;
+use counting_at_large::dht::ring::{Ring, RingConfig};
+use counting_at_large::dht::route_cache::CachedOverlay;
+use counting_at_large::dht::Overlay;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn primed_overlay(nodes: usize, seed: u64, lookups: usize) -> (CachedOverlay<Ring>, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ring = Ring::build(nodes, RingConfig::default(), &mut rng);
+    let overlay = CachedOverlay::new(ring);
+    let origin = overlay.inner().alive_ids()[0];
+    let mut ledger = CostLedger::new();
+    for _ in 0..lookups {
+        let key = rng.gen::<u64>();
+        overlay.route(origin, key, &mut ledger);
+    }
+    (overlay, rng)
+}
+
+/// Every route through the cache must return the inner overlay's owner,
+/// and that owner must be alive.
+fn assert_routes_authoritative(overlay: &CachedOverlay<Ring>, rng: &mut StdRng, probes: usize) {
+    let origin = overlay.inner().alive_ids()[0];
+    let mut ledger = CostLedger::new();
+    for _ in 0..probes {
+        let key = rng.gen::<u64>();
+        let via_cache = overlay.route(origin, key, &mut ledger);
+        assert_eq!(
+            via_cache,
+            overlay.inner().owner_of(key),
+            "cached route disagrees with overlay for key {key:#x}"
+        );
+        assert!(
+            overlay.inner().alive_ids().contains(&via_cache),
+            "cached route resolved to departed node {via_cache:#x}"
+        );
+    }
+}
+
+#[test]
+fn failures_never_leak_departed_owners() {
+    let (mut overlay, mut rng) = primed_overlay(96, 1, 600);
+    // Kill a third of the ring *without* telling the cache: every entry
+    // naming a dead owner is now stale.
+    let victims: Vec<u64> = overlay.inner().alive_ids()[..32].to_vec();
+    for v in victims {
+        overlay.inner_mut().fail_node(v);
+    }
+    assert_routes_authoritative(&overlay, &mut rng, 400);
+    let stats = overlay.cache_stats();
+    assert!(
+        stats.stale_evictions > 0,
+        "churn must surface stale entries"
+    );
+    assert!(stats.hits > 0, "surviving ranges must still serve hits");
+}
+
+#[test]
+fn graceful_leaves_never_leak_departed_owners() {
+    let (mut overlay, mut rng) = primed_overlay(64, 2, 500);
+    let victims: Vec<u64> = overlay.inner().alive_ids()[..16].to_vec();
+    for v in victims {
+        overlay.inner_mut().graceful_leave(v);
+    }
+    assert_routes_authoritative(&overlay, &mut rng, 400);
+}
+
+#[test]
+fn joins_splitting_cached_ranges_are_caught() {
+    let (mut overlay, mut rng) = primed_overlay(32, 3, 500);
+    // New nodes land inside cached ownership arcs; the old owner's cached
+    // range now over-claims keys the joiner took over.
+    for _ in 0..48 {
+        let id = rng.gen::<u64>();
+        overlay.inner_mut().join(id);
+    }
+    assert_routes_authoritative(&overlay, &mut rng, 400);
+}
+
+#[test]
+fn mixed_churn_with_eager_invalidation_stays_consistent() {
+    let (mut overlay, mut rng) = primed_overlay(64, 4, 500);
+    for round in 0..8 {
+        // Alternate failures and joins, eagerly invalidating on failure —
+        // the cooperative pattern a real deployment would use.
+        if round % 2 == 0 {
+            let victim = *overlay.inner().alive_ids().last().unwrap();
+            overlay.inner_mut().fail_node(victim);
+            overlay.invalidate_node(victim);
+        } else {
+            overlay.inner_mut().join(rng.gen::<u64>());
+        }
+        assert_routes_authoritative(&overlay, &mut rng, 100);
+    }
+    let stats = overlay.cache_stats();
+    assert!(stats.invalidations > 0);
+}
