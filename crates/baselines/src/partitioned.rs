@@ -36,6 +36,7 @@ pub struct PartitionedOutcome {
 }
 
 /// Run the protocol with `partitions` disjoint hash-range partitions.
+#[allow(clippy::cast_possible_truncation)]
 pub fn run(
     ring: &Ring,
     assignment: &ItemAssignment,
@@ -61,6 +62,7 @@ pub fn run(
         }
         let mut batches: Vec<Vec<u64>> = vec![Vec::new(); partitions];
         for &item in items {
+            // dhs-lint: allow(lossy_cast) — mod partitions, fits usize.
             let p = (hasher.hash_u64(item) % partitions as u64) as usize;
             batches[p].push(item);
         }

@@ -227,9 +227,12 @@ impl DhsConfig {
 
     /// The minimum hash length the paper's eq. 3 prescribes for counting
     /// up to `n_max`: `H₀ = log2(m) + ⌈log2(n_max/m) + 3⌉`.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn required_hash_bits(m: usize, n_max: u64) -> u32 {
         let c = (m as f64).log2();
         let per_bucket = (n_max as f64 / m as f64).max(1.0);
+        // dhs-lint: allow(lossy_cast) — float→int: a bit-position budget
+        // (≤ 64 plus a small constant), nowhere near u32::MAX.
         (c + (per_bucket.log2() + 3.0).ceil()) as u32
     }
 

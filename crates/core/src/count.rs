@@ -24,11 +24,13 @@ use rand::Rng;
 
 use dhs_dht::cost::CostLedger;
 use dhs_dht::overlay::Overlay;
+use dhs_obs::names;
 use dhs_sketch::{
     hyperloglog_estimate_from_registers, pcsa_estimate_from_first_zeros,
     superloglog_estimate_from_registers,
 };
 
+use crate::cast::checked_cast;
 use crate::config::EstimatorKind;
 use crate::fast::ScanHint;
 use crate::insert::Dhs;
@@ -167,8 +169,8 @@ impl<'a, O: Overlay, T: Transport, R: Rng> Prober<'a, O, T, R> {
             for vector in 0..self.dhs.config().m {
                 let tuple = DhsTuple {
                     metric,
-                    vector: vector as u16,
-                    bit: rank as u8,
+                    vector: checked_cast(vector),
+                    bit: checked_cast(rank),
                 };
                 if self.ring.fetch_at(target, tuple.app_key()).is_some() {
                     on_hit(mi, vector);
@@ -190,6 +192,7 @@ impl Dhs {
     ) -> CountResult {
         self.count_multi(ring, &[metric], origin, rng, ledger)
             .pop()
+            // dhs-lint: allow(panic_hygiene) — invariant: the batch API returns exactly one result per metric.
             .expect("one metric in, one result out")
     }
 
@@ -207,6 +210,7 @@ impl Dhs {
     ) -> CountResult {
         self.count_multi_via(ring, transport, &[metric], origin, rng, ledger)
             .pop()
+            // dhs-lint: allow(panic_hygiene) — invariant: the batch API returns exactly one result per metric.
             .expect("one metric in, one result out")
     }
 
@@ -253,6 +257,7 @@ impl Dhs {
     ) -> CountResult {
         self.count_multi_hinted(ring, hint, &[metric], origin, rng, ledger)
             .pop()
+            // dhs-lint: allow(panic_hygiene) — invariant: the batch API returns exactly one result per metric.
             .expect("one metric in, one result out")
     }
 
@@ -270,6 +275,7 @@ impl Dhs {
     ) -> CountResult {
         self.count_multi_hinted_via(ring, transport, hint, &[metric], origin, rng, ledger)
             .pop()
+            // dhs-lint: allow(panic_hygiene) — invariant: the batch API returns exactly one result per metric.
             .expect("one metric in, one result out")
     }
 
@@ -323,9 +329,9 @@ impl Dhs {
         };
         if let Some(r) = transport.recorder() {
             let key = if start.is_some() {
-                "count.hint.warm"
+                names::COUNT_HINT_WARM
             } else {
-                "count.hint.cold"
+                names::COUNT_HINT_COLD
             };
             r.incr(key, 1);
         }
@@ -350,7 +356,7 @@ impl Dhs {
         hint: Option<u32>,
     ) -> Vec<CountResult> {
         assert!(!metrics.is_empty(), "count_multi needs at least one metric");
-        let span = start_span(transport, "count", metrics.len() as u64);
+        let span = start_span(transport, names::SPAN_COUNT, metrics.len() as u64);
         let results = match self.config().estimator {
             // HyperLogLog shares super-LogLog's storage and top-down scan;
             // only the register→estimate formula differs.
@@ -361,12 +367,15 @@ impl Dhs {
         };
         if let Some(r) = transport.recorder() {
             let stats = results[0].stats;
-            r.incr("op.count", 1);
-            r.observe("op.count.bytes", stats.bytes);
-            r.observe("op.count.hops", stats.hops);
-            r.observe("op.count.probes", stats.probes);
+            r.incr(names::OP_COUNT, 1);
+            r.observe(names::OP_COUNT_BYTES, stats.bytes);
+            r.observe(names::OP_COUNT_HOPS, stats.hops);
+            r.observe(names::OP_COUNT_PROBES, stats.probes);
             if stats.intervals_skipped > 0 {
-                r.incr("count.hint.skipped", u64::from(stats.intervals_skipped));
+                r.incr(
+                    names::COUNT_HINT_SKIPPED,
+                    u64::from(stats.intervals_skipped),
+                );
             }
         }
         end_span(transport, span);
@@ -433,7 +442,7 @@ impl Dhs {
             } else {
                 cfg.lim
             };
-            let interval_span = start_span(prober.transport, "interval", u64::from(rank));
+            let interval_span = start_span(prober.transport, names::SPAN_INTERVAL, u64::from(rank));
             let Some((mut walk, mut target)) = prober.open_interval(rank, ledger, &mut stats)
             else {
                 end_span(prober.transport, interval_span);
@@ -448,13 +457,13 @@ impl Dhs {
                     MessageKind::Probe
                 };
                 let scan_span = if attempt > 0 {
-                    start_span(prober.transport, "succ_scan", u64::from(attempt))
+                    start_span(prober.transport, names::SPAN_SUCC_SCAN, u64::from(attempt))
                 } else {
                     None
                 };
                 prober.probe(target, rank, kind, ledger, &mut stats, |mi, vector| {
                     if regs[mi][vector].is_none() {
-                        regs[mi][vector] = Some(rank as u8 + 1);
+                        regs[mi][vector] = Some(checked_cast::<u8, _>(rank) + 1);
                         unresolved -= 1;
                     }
                 });
@@ -470,7 +479,7 @@ impl Dhs {
         stats.hops = ledger.hops() - hops_before;
         // Vectors never seen: empty (register 0), or — with the bit-shift
         // optimization — "max rank at least bit_shift − 1" (register b).
-        let floor = cfg.bit_shift as u8;
+        let floor: u8 = checked_cast(cfg.bit_shift);
         metrics
             .iter()
             .zip(regs)
@@ -530,7 +539,7 @@ impl Dhs {
             }
             // Unresolved vectors not yet confirmed set at this rank.
             let mut in_question = unresolved;
-            let interval_span = start_span(prober.transport, "interval", u64::from(rank));
+            let interval_span = start_span(prober.transport, names::SPAN_INTERVAL, u64::from(rank));
             let Some((mut walk, mut target)) = prober.open_interval(rank, ledger, &mut stats)
             else {
                 end_span(prober.transport, interval_span);
@@ -546,7 +555,7 @@ impl Dhs {
                     MessageKind::Probe
                 };
                 let scan_span = if attempt > 0 {
-                    start_span(prober.transport, "succ_scan", u64::from(attempt))
+                    start_span(prober.transport, names::SPAN_SUCC_SCAN, u64::from(attempt))
                 } else {
                     None
                 };
@@ -598,6 +607,7 @@ impl Dhs {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test data has known ranges
 mod tests {
     use super::*;
     use crate::config::DhsConfig;

@@ -32,6 +32,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::cast::checked_cast;
 use crate::config::DhsConfig;
 use crate::tuple::MetricId;
 
@@ -52,7 +53,7 @@ pub struct EpochCache {
 impl EpochCache {
     /// An empty cache sized for `cfg` (`m · rank_bits` cells per metric).
     pub fn new(cfg: &DhsConfig) -> Self {
-        let cells = cfg.m * cfg.rank_bits() as usize;
+        let cells = cfg.m * checked_cast::<usize, _>(cfg.rank_bits());
         EpochCache {
             bits: BTreeMap::new(),
             words: cells.div_ceil(64),
@@ -65,7 +66,8 @@ impl EpochCache {
 
     fn cell(&self, vector: u16, rank: u32) -> (usize, u64) {
         debug_assert!(rank < self.rank_bits);
-        let idx = vector as usize * self.rank_bits as usize + rank as usize;
+        let idx = usize::from(vector) * checked_cast::<usize, _>(self.rank_bits)
+            + checked_cast::<usize, _>(rank);
         (idx / 64, 1u64 << (idx % 64))
     }
 
@@ -167,6 +169,7 @@ impl ScanHint {
     /// The highest rank the scan must still examine for `metrics`, or
     /// `None` when any metric lacks a prior (→ full scan). The result is
     /// clamped into the scannable range `[bit_shift, scan_bits)`.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn start_rank(&self, cfg: &DhsConfig, metrics: &[MetricId]) -> Option<u32> {
         let mut start = cfg.bit_shift;
         for metric in metrics {
@@ -175,6 +178,8 @@ impl ScanHint {
             // slack so underestimated priors don't push real work into
             // the exactly-resolved region above the hint.
             let per_vector = (prior / cfg.m as f64).max(1.0);
+            // dhs-lint: allow(lossy_cast) — float→int: ceil(log2) of a finite
+            // positive f64 is ≤ 1024, comfortably inside u32.
             let top = per_vector.log2().ceil() as u32 + self.slack;
             start = start.max(top.min(cfg.scan_bits().saturating_sub(1)));
         }
@@ -189,6 +194,7 @@ impl Default for ScanHint {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test data has known ranges
 mod tests {
     use super::*;
 

@@ -23,8 +23,10 @@ use rand::Rng;
 use dhs_dht::cost::CostLedger;
 use dhs_dht::overlay::Overlay;
 use dhs_dht::storage::StoredRecord;
+use dhs_obs::names;
 use dhs_sketch::rho::{lsb, rho};
 
+use crate::cast::checked_cast;
 use crate::config::{ConfigError, DhsConfig};
 use crate::fast::EpochCache;
 use crate::intervals::interval_for_rank;
@@ -61,7 +63,7 @@ impl Dhs {
     /// rank bits are all zero (probability `2^{−rank_bits}`).
     pub fn classify(&self, item_key: u64) -> (u16, u32) {
         let low = lsb(item_key, self.cfg.k);
-        let vector = (low & (self.cfg.m as u64 - 1)) as u16;
+        let vector: u16 = checked_cast(low & (self.cfg.m as u64 - 1));
         let rest = low >> self.cfg.bucket_bits();
         let rank = rho(rest).min(self.cfg.rank_bits() - 1);
         (vector, rank)
@@ -110,23 +112,23 @@ impl Dhs {
         let (vector, rank) = self.classify(item_key);
         if rank < self.cfg.bit_shift {
             if let Some(r) = transport.recorder() {
-                r.incr("op.insert.elided", 1);
+                r.incr(names::OP_INSERT_ELIDED, 1);
             }
             return false;
         }
         let tuple = DhsTuple {
             metric,
             vector,
-            bit: rank as u8,
+            bit: checked_cast(rank),
         };
-        let span = start_span(transport, "insert", u64::from(rank));
+        let span = start_span(transport, names::SPAN_INSERT, u64::from(rank));
         let bytes_before = ledger.bytes();
         let groups = [(rank, vec![tuple])];
         self.store_grouped(ring, transport, &groups, origin, rng, ledger);
         let bytes = ledger.bytes() - bytes_before;
         if let Some(r) = transport.recorder() {
-            r.incr("op.insert", 1);
-            r.observe("op.insert.bytes", bytes);
+            r.incr(names::OP_INSERT, 1);
+            r.observe(names::OP_INSERT_BYTES, bytes);
         }
         end_span(transport, span);
         true
@@ -170,22 +172,22 @@ impl Dhs {
         rng: &mut impl Rng,
         ledger: &mut CostLedger,
     ) -> usize {
-        let span = start_span(transport, "bulk_insert", item_keys.len() as u64);
+        let span = start_span(transport, names::SPAN_BULK_INSERT, item_keys.len() as u64);
         // Group by rank; dedup vectors inside each group.
-        let rank_count = self.cfg.rank_bits() as usize;
+        let rank_count: usize = checked_cast(self.cfg.rank_bits());
         let mut groups: Vec<Vec<u16>> = vec![Vec::new(); rank_count];
         for &key in item_keys {
             let (vector, rank) = self.classify(key);
             if rank >= self.cfg.bit_shift {
-                groups[rank as usize].push(vector);
+                groups[checked_cast::<usize, _>(rank)].push(vector);
             }
         }
         let grouped = Self::rank_groups(metric, groups);
         let shipped = grouped.iter().map(|(_, t)| t.len()).sum::<usize>();
         self.store_grouped(ring, transport, &grouped, origin, rng, ledger);
         if let Some(r) = transport.recorder() {
-            r.incr("op.bulk_insert", 1);
-            r.incr("op.bulk_insert.tuples", shipped as u64);
+            r.incr(names::OP_BULK_INSERT, 1);
+            r.incr(names::OP_BULK_INSERT_TUPLES, shipped as u64);
         }
         end_span(transport, span);
         shipped
@@ -239,32 +241,32 @@ impl Dhs {
         let (vector, rank) = self.classify(item_key);
         if rank < self.cfg.bit_shift {
             if let Some(r) = transport.recorder() {
-                r.incr("op.insert.elided", 1);
+                r.incr(names::OP_INSERT_ELIDED, 1);
             }
             return false;
         }
         if cache.probe(metric, vector, rank) {
             if let Some(r) = transport.recorder() {
-                r.incr("cache.hit", 1);
+                r.incr(names::CACHE_HIT, 1);
             }
             return true;
         }
         if let Some(r) = transport.recorder() {
-            r.incr("cache.miss", 1);
+            r.incr(names::CACHE_MISS, 1);
         }
         let tuple = DhsTuple {
             metric,
             vector,
-            bit: rank as u8,
+            bit: checked_cast(rank),
         };
-        let span = start_span(transport, "insert", u64::from(rank));
+        let span = start_span(transport, names::SPAN_INSERT, u64::from(rank));
         let bytes_before = ledger.bytes();
         let groups = [(rank, vec![tuple])];
         let ok = self.store_grouped(ring, transport, &groups, origin, rng, ledger);
         let bytes = ledger.bytes() - bytes_before;
         if let Some(r) = transport.recorder() {
-            r.incr("op.insert", 1);
-            r.observe("op.insert.bytes", bytes);
+            r.incr(names::OP_INSERT, 1);
+            r.observe(names::OP_INSERT_BYTES, bytes);
         }
         end_span(transport, span);
         if ok[0] {
@@ -313,13 +315,13 @@ impl Dhs {
         rng: &mut impl Rng,
         ledger: &mut CostLedger,
     ) -> usize {
-        let span = start_span(transport, "bulk_insert", item_keys.len() as u64);
-        let rank_count = self.cfg.rank_bits() as usize;
+        let span = start_span(transport, names::SPAN_BULK_INSERT, item_keys.len() as u64);
+        let rank_count: usize = checked_cast(self.cfg.rank_bits());
         let mut groups: Vec<Vec<u16>> = vec![Vec::new(); rank_count];
         for &key in item_keys {
             let (vector, rank) = self.classify(key);
             if rank >= self.cfg.bit_shift {
-                groups[rank as usize].push(vector);
+                groups[checked_cast::<usize, _>(rank)].push(vector);
             }
         }
         let mut hits = 0u64;
@@ -336,8 +338,8 @@ impl Dhs {
         grouped.retain(|(_, tuples)| !tuples.is_empty());
         let shipped = grouped.iter().map(|(_, t)| t.len()).sum::<usize>();
         if let Some(r) = transport.recorder() {
-            r.incr("cache.hit", hits);
-            r.incr("cache.miss", shipped as u64);
+            r.incr(names::CACHE_HIT, hits);
+            r.incr(names::CACHE_MISS, shipped as u64);
         }
         let ok = self.store_grouped(ring, transport, &grouped, origin, rng, ledger);
         for (stored, (rank, tuples)) in ok.iter().zip(&grouped) {
@@ -348,8 +350,8 @@ impl Dhs {
             }
         }
         if let Some(r) = transport.recorder() {
-            r.incr("op.bulk_insert", 1);
-            r.incr("op.bulk_insert.tuples", shipped as u64);
+            r.incr(names::OP_BULK_INSERT, 1);
+            r.incr(names::OP_BULK_INSERT_TUPLES, shipped as u64);
         }
         end_span(transport, span);
         shipped
@@ -371,10 +373,10 @@ impl Dhs {
                     .map(|vector| DhsTuple {
                         metric,
                         vector,
-                        bit: rank as u8,
+                        bit: checked_cast(rank),
                     })
                     .collect();
-                (rank as u32, tuples)
+                (checked_cast(rank), tuples)
             })
             .collect()
     }
@@ -423,7 +425,7 @@ impl Dhs {
             let tuple_count: usize = members.iter().map(|&i| groups[i].1.len()).sum();
             let payload = u64::from(self.cfg.tuple_bytes) * tuple_count as u64;
             let routing_key = placements[members[0]].0;
-            let route_span = start_span(transport, "route", tuple_count as u64);
+            let route_span = start_span(transport, names::SPAN_ROUTE, tuple_count as u64);
             let sent = with_retry(transport, |t| {
                 let hops_before = ledger.hops();
                 match t.recorder() {
@@ -436,11 +438,11 @@ impl Dhs {
             });
             end_span(transport, route_span);
             if let Some(r) = transport.recorder() {
-                r.observe("batch.size", tuple_count as u64);
+                r.observe(names::BATCH_SIZE, tuple_count as u64);
             }
             if sent.is_err() {
                 if let Some(r) = transport.recorder() {
-                    r.incr("op.store.lost", 1);
+                    r.incr(names::OP_STORE_LOST, 1);
                 }
                 continue; // every attempt timed out: these tuples are lost
             }
@@ -449,7 +451,7 @@ impl Dhs {
             }
 
             let expires_at = ring.time().saturating_add(self.cfg.ttl);
-            let store_span = start_span(transport, "store", tuple_count as u64);
+            let store_span = start_span(transport, names::SPAN_STORE, tuple_count as u64);
             let mut holder = owner;
             for replica in 0..self.cfg.replication {
                 if replica > 0 {
@@ -485,6 +487,7 @@ impl Dhs {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test data has known ranges
 mod tests {
     use super::*;
     use dhs_dht::ring::{Ring, RingConfig};

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod cast;
 pub mod config;
 pub mod count;
 pub mod fast;
@@ -66,6 +67,7 @@ pub mod stats;
 pub mod transport;
 pub mod tuple;
 
+pub use cast::{checked_cast, try_cast};
 pub use config::{ConfigError, DhsConfig, EstimatorKind};
 pub use fast::{EpochCache, ScanHint};
 pub use insert::Dhs;

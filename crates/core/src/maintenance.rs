@@ -13,7 +13,7 @@
 //! shrinks; short TTLs adapt fast but cost bandwidth. The
 //! [`refresh_cost_per_time`] helper quantifies the maintenance side.
 
-use dhs_obs::{NoopRecorder, Recorder};
+use dhs_obs::{names, NoopRecorder, Recorder};
 use rand::Rng;
 
 use dhs_dht::cost::CostLedger;
@@ -64,11 +64,11 @@ pub fn refresh_round_via<O: Overlay, T: Transport>(
     rng: &mut impl Rng,
     ledger: &mut CostLedger,
 ) -> usize {
-    let span = start_span(transport, "refresh", item_keys.len() as u64);
+    let span = start_span(transport, names::SPAN_REFRESH, item_keys.len() as u64);
     let shipped = dhs.bulk_insert_via(ring, transport, metric, item_keys, origin, rng, ledger);
     if let Some(r) = transport.recorder() {
-        r.incr("op.refresh", 1);
-        r.incr("op.refresh.tuples", shipped as u64);
+        r.incr(names::OP_REFRESH, 1);
+        r.incr(names::OP_REFRESH_TUPLES, shipped as u64);
     }
     end_span(transport, span);
     shipped
@@ -122,13 +122,13 @@ pub fn refresh_round_cached_via<O: Overlay, T: Transport>(
     ledger: &mut CostLedger,
 ) -> usize {
     cache.roll_epoch();
-    let span = start_span(transport, "refresh", item_keys.len() as u64);
+    let span = start_span(transport, names::SPAN_REFRESH, item_keys.len() as u64);
     let shipped = dhs.bulk_insert_cached_via(
         ring, transport, cache, metric, item_keys, origin, rng, ledger,
     );
     if let Some(r) = transport.recorder() {
-        r.incr("op.refresh", 1);
-        r.incr("op.refresh.tuples", shipped as u64);
+        r.incr(names::OP_REFRESH, 1);
+        r.incr(names::OP_REFRESH_TUPLES, shipped as u64);
     }
     end_span(transport, span);
     shipped
@@ -207,7 +207,7 @@ pub fn repair_replicas_observed(
         ledger.record_visit(target);
         obs.delivered(MessageKind::Store.tag(), target);
     }
-    obs.incr("op.repair.pushes", copies as u64);
+    obs.incr(names::OP_REPAIR_PUSHES, copies as u64);
     copies
 }
 

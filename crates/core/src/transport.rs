@@ -27,7 +27,7 @@
 //! (probe / successor-walk / replica leg).
 
 use dhs_dht::cost::CostLedger;
-use dhs_obs::Recorder;
+use dhs_obs::{names, Recorder};
 
 use crate::retry::RetryPolicy;
 
@@ -59,50 +59,50 @@ impl MessageKind {
     /// Counter name for attempted exchanges of this kind.
     pub fn sent_counter(self) -> &'static str {
         match self {
-            MessageKind::Lookup => "msg.lookup.sent",
-            MessageKind::Store => "msg.store.sent",
-            MessageKind::Probe => "msg.probe.sent",
-            MessageKind::SuccessorScan => "msg.succ_scan.sent",
+            MessageKind::Lookup => names::MSG_LOOKUP_SENT,
+            MessageKind::Store => names::MSG_STORE_SENT,
+            MessageKind::Probe => names::MSG_PROBE_SENT,
+            MessageKind::SuccessorScan => names::MSG_SUCC_SCAN_SENT,
         }
     }
 
     /// Counter name for successful exchanges of this kind.
     pub fn ok_counter(self) -> &'static str {
         match self {
-            MessageKind::Lookup => "msg.lookup.ok",
-            MessageKind::Store => "msg.store.ok",
-            MessageKind::Probe => "msg.probe.ok",
-            MessageKind::SuccessorScan => "msg.succ_scan.ok",
+            MessageKind::Lookup => names::MSG_LOOKUP_OK,
+            MessageKind::Store => names::MSG_STORE_OK,
+            MessageKind::Probe => names::MSG_PROBE_OK,
+            MessageKind::SuccessorScan => names::MSG_SUCC_SCAN_OK,
         }
     }
 
     /// Counter name for timed-out exchanges of this kind.
     pub fn timeout_counter(self) -> &'static str {
         match self {
-            MessageKind::Lookup => "msg.lookup.timeout",
-            MessageKind::Store => "msg.store.timeout",
-            MessageKind::Probe => "msg.probe.timeout",
-            MessageKind::SuccessorScan => "msg.succ_scan.timeout",
+            MessageKind::Lookup => names::MSG_LOOKUP_TIMEOUT,
+            MessageKind::Store => names::MSG_STORE_TIMEOUT,
+            MessageKind::Probe => names::MSG_PROBE_TIMEOUT,
+            MessageKind::SuccessorScan => names::MSG_SUCC_SCAN_TIMEOUT,
         }
     }
 
     /// Histogram name for the virtual ticks an exchange of this kind took.
     pub fn ticks_histogram(self) -> &'static str {
         match self {
-            MessageKind::Lookup => "msg.lookup.ticks",
-            MessageKind::Store => "msg.store.ticks",
-            MessageKind::Probe => "msg.probe.ticks",
-            MessageKind::SuccessorScan => "msg.succ_scan.ticks",
+            MessageKind::Lookup => names::MSG_LOOKUP_TICKS,
+            MessageKind::Store => names::MSG_STORE_TICKS,
+            MessageKind::Probe => names::MSG_PROBE_TICKS,
+            MessageKind::SuccessorScan => names::MSG_SUCC_SCAN_TICKS,
         }
     }
 
     /// Histogram name for routing hops of a routed exchange of this kind.
     pub fn hops_histogram(self) -> &'static str {
         match self {
-            MessageKind::Lookup => "msg.lookup.hops",
-            MessageKind::Store => "msg.store.hops",
-            MessageKind::Probe => "msg.probe.hops",
-            MessageKind::SuccessorScan => "msg.succ_scan.hops",
+            MessageKind::Lookup => names::MSG_LOOKUP_HOPS,
+            MessageKind::Store => names::MSG_STORE_HOPS,
+            MessageKind::Probe => names::MSG_PROBE_HOPS,
+            MessageKind::SuccessorScan => names::MSG_SUCC_SCAN_HOPS,
         }
     }
 }
@@ -398,9 +398,9 @@ pub fn with_retry<T: Transport + ?Sized>(
     }
     let gave_up = last.is_err();
     if let Some(r) = transport.recorder() {
-        r.observe("exchange.attempts", tries);
+        r.observe(names::EXCHANGE_ATTEMPTS, tries);
         if gave_up {
-            r.incr("exchange.gave_up", 1);
+            r.incr(names::EXCHANGE_GAVE_UP, 1);
         }
     }
     last

@@ -8,6 +8,8 @@
 //! expiry field; the wire size of the whole tuple is configured by
 //! [`crate::DhsConfig::tuple_bytes`] (8 bytes in the paper's evaluation).
 
+use crate::cast::checked_cast;
+
 /// Identifier of an estimated metric (quantity). The paper's examples:
 /// "the cardinality of the node population", "the number of distinct data
 /// objects", "the number of tuples satisfying some predefined condition"
@@ -36,10 +38,12 @@ impl DhsTuple {
 
     /// Inverse of [`app_key`](Self::app_key).
     pub fn from_app_key(key: u64) -> Self {
+        // Each field is masked to its width first, so the narrowing is
+        // infallible by construction; `checked_cast` keeps it audible.
         DhsTuple {
-            metric: (key >> 24) as u32,
-            vector: ((key >> 8) & 0xFFFF) as u16,
-            bit: (key & 0xFF) as u8,
+            metric: checked_cast((key >> 24) & 0xFFFF_FFFF),
+            vector: checked_cast((key >> 8) & 0xFFFF),
+            bit: checked_cast(key & 0xFF),
         }
     }
 }

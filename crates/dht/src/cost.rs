@@ -170,6 +170,7 @@ impl LoadSummary {
         LoadSummary {
             count: v.len(),
             min: v[0],
+            // dhs-lint: allow(panic_hygiene) — invariant: guarded by the is_empty check above.
             max: *v.last().expect("non-empty"),
             mean,
             gini,

@@ -109,6 +109,7 @@ impl FingerTables {
     /// fingers and successor list from the current ring. Charges the
     /// `O(log N)` lookups the protocol performs (one per finger level
     /// that changed, at least one for the successor check).
+    #[allow(clippy::cast_possible_truncation)]
     pub fn stabilize_node(&mut self, ring: &Ring, node: u64, ledger: &mut CostLedger) {
         let fresh = Self::compute_node(ring, node);
         let changed = match self.tables.get(&node) {

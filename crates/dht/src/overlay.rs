@@ -8,7 +8,7 @@
 //! (XOR-metric) both implement it, and `dhs-core` is generic over it —
 //! which makes the claim checkable instead of rhetorical.
 
-use dhs_obs::Recorder;
+use dhs_obs::{names, Recorder};
 use rand::Rng;
 
 use crate::cost::CostLedger;
@@ -48,7 +48,7 @@ pub trait Overlay {
     ) -> u64 {
         let before = ledger.hops();
         let owner = self.route(from, key, ledger);
-        obs.observe("route.hops", ledger.hops() - before);
+        obs.observe(names::ROUTE_HOPS, ledger.hops() - before);
         owner
     }
 

@@ -11,7 +11,7 @@
 //! A logical clock (`now`) drives the soft-state TTL semantics of the
 //! per-node stores.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::Rng;
 
@@ -50,8 +50,10 @@ pub struct NodeState {
 pub struct Ring {
     /// Sorted identifiers of alive nodes.
     alive_ids: Vec<u64>,
-    /// All nodes ever part of the overlay, alive or failed.
-    nodes: HashMap<u64, NodeState>,
+    /// All nodes ever part of the overlay, alive or failed. Ordered map:
+    /// `sweep_all` iterates it, and replayed runs must visit stores in
+    /// identifier order, not `HashMap` seed order.
+    nodes: BTreeMap<u64, NodeState>,
     /// Logical clock for TTL semantics.
     now: u64,
     cfg: RingConfig,
@@ -66,7 +68,7 @@ impl Ring {
     pub fn build(n: usize, cfg: RingConfig, rng: &mut impl Rng) -> Self {
         assert!(n > 0, "a ring needs at least one node");
         let mut ids = Vec::with_capacity(n);
-        let mut nodes = HashMap::with_capacity(n);
+        let mut nodes = BTreeMap::new();
         while ids.len() < n {
             let id: u64 = rng.gen();
             if nodes.contains_key(&id) {
@@ -146,6 +148,8 @@ impl Ring {
     pub fn pred_of(&self, node: u64) -> u64 {
         let ids = &self.alive_ids;
         match ids.binary_search(&node) {
+            // dhs-lint: allow(panic_hygiene) — invariant: ring construction
+            // guarantees at least one node.
             Ok(0) | Err(0) => *ids.last().expect("non-empty ring"),
             Ok(i) => ids[i - 1],
             Err(i) => ids[i - 1],
@@ -201,6 +205,8 @@ impl Ring {
     /// `node` must be alive. Re-storing an existing `app_key` refreshes
     /// the record in place (soft-state refresh).
     pub fn store_at(&mut self, node: u64, app_key: u64, record: StoredRecord) {
+        // dhs-lint: allow(panic_hygiene) — invariant: callers pass ids owned
+        // by this ring.
         let state = self.nodes.get_mut(&node).expect("unknown node");
         assert!(state.alive, "cannot store at a failed node");
         state.store.put(app_key, record);

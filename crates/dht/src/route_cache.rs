@@ -31,7 +31,7 @@ use std::cell::RefCell;
 
 use rand::Rng;
 
-use dhs_obs::Recorder;
+use dhs_obs::{names, Recorder};
 
 use crate::cost::CostLedger;
 use crate::id::cw_contains;
@@ -135,6 +135,7 @@ impl RouteCache {
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
+                // dhs-lint: allow(panic_hygiene) — invariant: capacity is validated nonzero at construction.
                 .expect("capacity ≥ 1");
             self.entries.swap_remove(lru);
         }
@@ -285,12 +286,12 @@ impl<O: Overlay> Overlay for CachedOverlay<O> {
         let before = self.cache_stats();
         let hops_before = ledger.hops();
         let owner = self.route(from, key, ledger);
-        obs.observe("route.hops", ledger.hops() - hops_before);
+        obs.observe(names::ROUTE_HOPS, ledger.hops() - hops_before);
         let after = self.cache_stats();
-        obs.incr("route.cache.hit", after.hits - before.hits);
-        obs.incr("route.cache.miss", after.misses - before.misses);
+        obs.incr(names::ROUTE_CACHE_HIT, after.hits - before.hits);
+        obs.incr(names::ROUTE_CACHE_MISS, after.misses - before.misses);
         obs.incr(
-            "route.cache.stale",
+            names::ROUTE_CACHE_STALE,
             after.stale_evictions - before.stale_evictions,
         );
         owner

@@ -6,7 +6,7 @@
 //! `(metric, vector, bit)` into it) and tracks the encoded byte size of
 //! each record so storage-load experiments can read real numbers.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A stored soft-state record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,9 +24,14 @@ pub struct StoredRecord {
 ///
 /// Reads at logical time `now` treat expired records as absent; expired
 /// entries are compacted opportunistically by [`NodeStore::sweep`].
+///
+/// Keyed by a `BTreeMap` so that [`NodeStore::iter`] and
+/// [`NodeStore::drain`] — the churn handoff path — walk records in key
+/// order; hash-ordered handoff made replays depend on `HashMap` seed
+/// state (caught by `dhs-lint`'s `determinism` rule).
 #[derive(Debug, Clone, Default)]
 pub struct NodeStore {
-    records: HashMap<u64, StoredRecord>,
+    records: BTreeMap<u64, StoredRecord>,
 }
 
 impl NodeStore {
@@ -91,9 +96,9 @@ impl NodeStore {
     }
 
     /// Drain the whole store (graceful leave: hand every record to the
-    /// successor).
+    /// successor), in key order.
     pub fn drain(&mut self) -> impl Iterator<Item = (u64, StoredRecord)> + '_ {
-        self.records.drain()
+        std::mem::take(&mut self.records).into_iter()
     }
 }
 

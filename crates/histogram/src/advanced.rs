@@ -20,6 +20,7 @@
 //! [`VariableHistogram::range`].
 
 use crate::buckets::BucketSpec;
+use dhs_core::checked_cast;
 
 /// A variable-width histogram: `boundaries[i]..boundaries[i+1]` (in
 /// attribute-value space) holds `counts[i]` tuples.
@@ -67,7 +68,7 @@ impl VariableHistogram {
         for b in 0..spec.buckets {
             let (lo, hi) = spec.range_of(b);
             let approx = self.range(lo, hi);
-            let actual = cells[b as usize];
+            let actual = cells[checked_cast::<usize, _>(b)];
             sse += (approx - actual).powi(2);
         }
         sse
@@ -76,7 +77,11 @@ impl VariableHistogram {
 
 /// Validate inputs and return the cell boundaries of the source spec.
 fn cell_edges(spec: &BucketSpec, cells: &[f64], target: usize) -> Vec<u32> {
-    assert_eq!(cells.len(), spec.buckets as usize, "cells must match spec");
+    assert_eq!(
+        cells.len(),
+        checked_cast::<usize, _>(spec.buckets),
+        "cells must match spec"
+    );
     assert!(target >= 1, "need at least one target bucket");
     assert!(
         target <= cells.len(),
@@ -100,6 +105,7 @@ fn from_cut_indices(edges: &[u32], cells: &[f64], cuts: &[usize]) -> VariableHis
         boundaries.push(edges[start]);
         counts.push(cells[start..end].iter().sum());
     }
+    // dhs-lint: allow(panic_hygiene) — invariant: cuts is seeded non-empty before the loop.
     boundaries.push(edges[*cuts.last().expect("non-empty cuts")]);
     VariableHistogram { boundaries, counts }
 }
@@ -193,6 +199,7 @@ pub fn equi_depth(spec: &BucketSpec, cells: &[f64], target: usize) -> VariableHi
     // Pad out any unclosed buckets (can happen when mass concentrates at
     // the end) and close the last one.
     while cuts.len() < target {
+        // dhs-lint: allow(panic_hygiene) — invariant: cuts is seeded non-empty before the loop.
         let last = *cuts.last().expect("non-empty");
         cuts.push((last + 1).min(n - (target - cuts.len())));
     }
@@ -234,6 +241,7 @@ pub fn compressed(
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test data has known ranges
 mod tests {
     use super::*;
 

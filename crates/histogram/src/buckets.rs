@@ -4,6 +4,7 @@
 //! of attribute `a` into `I` equally-sized intervals/buckets `B_i` […]
 //! We then create a metric_id for each bucket."
 
+use dhs_core::checked_cast;
 use dhs_core::MetricId;
 
 /// An equi-width partitioning of an integer attribute domain, plus the
@@ -52,7 +53,7 @@ impl BucketSpec {
             return None;
         }
         let idx = (u64::from(value) - u64::from(self.min)) / self.width();
-        Some((idx as u32).min(self.buckets - 1))
+        Some(checked_cast::<u32, _>(idx).min(self.buckets - 1))
     }
 
     /// The half-open value range `[lo, hi)` of bucket `i` (clamped to the
@@ -62,7 +63,9 @@ impl BucketSpec {
         let w = self.width();
         let lo = u64::from(self.min) + u64::from(bucket) * w;
         let hi = (lo + w).min(u64::from(self.max) + 1);
-        (lo as u32, hi as u32)
+        // `checked_cast` here is load-bearing: with `max == u32::MAX`
+        // the half-open end would silently wrap to 0 under `as`.
+        (checked_cast(lo), checked_cast(hi))
     }
 
     /// The metric id of bucket `i`.

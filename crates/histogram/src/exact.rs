@@ -1,5 +1,6 @@
 //! Ground-truth histograms, computed locally from the raw tuples.
 
+use dhs_core::checked_cast;
 use dhs_workload::Relation;
 
 use crate::buckets::BucketSpec;
@@ -17,10 +18,10 @@ impl ExactHistogram {
     /// Compute the exact histogram of `relation` under `spec`. Tuples
     /// with out-of-domain values are ignored.
     pub fn build(relation: &Relation, spec: BucketSpec) -> Self {
-        let mut counts = vec![0u64; spec.buckets as usize];
+        let mut counts = vec![0u64; checked_cast::<usize, _>(spec.buckets)];
         for tuple in &relation.tuples {
             if let Some(b) = spec.bucket_of(tuple.value) {
-                counts[b as usize] += 1;
+                counts[checked_cast::<usize, _>(b)] += 1;
             }
         }
         ExactHistogram { spec, counts }

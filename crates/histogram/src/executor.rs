@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use rand::Rng;
 
+use dhs_core::checked_cast;
 use dhs_dht::cost::CostLedger;
 use dhs_dht::ring::Ring;
 use dhs_sketch::{ItemHasher, SplitMix64};
@@ -52,7 +53,7 @@ impl DistributedRelation {
         let mut freq = vec![0u64; domain];
         for tuples in self.partitions.values() {
             for t in tuples {
-                freq[t.value as usize] += 1;
+                freq[checked_cast::<usize, _>(t.value)] += 1;
             }
         }
         freq

@@ -18,6 +18,7 @@
 
 use crate::buckets::BucketSpec;
 use crate::query::{join_histogram, JoinQuery};
+use dhs_core::checked_cast;
 
 /// A left-deep join plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,7 +45,7 @@ impl Optimizer {
     /// Build an optimizer from per-relation histograms (all over `spec`).
     pub fn new(spec: BucketSpec, histograms: Vec<Vec<f64>>, tuple_bytes: u64) -> Self {
         for h in &histograms {
-            assert_eq!(h.len(), spec.buckets as usize);
+            assert_eq!(h.len(), checked_cast::<usize, _>(spec.buckets));
         }
         Optimizer {
             spec,
@@ -88,6 +89,7 @@ impl Optimizer {
                 best = Some(plan);
             }
         });
+        // dhs-lint: allow(panic_hygiene) — invariant: at least one order is always scored.
         best.expect("at least one order")
     }
 
@@ -103,6 +105,7 @@ impl Optimizer {
                 worst = Some(plan);
             }
         });
+        // dhs-lint: allow(panic_hygiene) — invariant: at least one order is always scored.
         worst.expect("at least one order")
     }
 }

@@ -14,6 +14,7 @@
 //! own histogram, so chains can be estimated by folding.
 
 use crate::buckets::BucketSpec;
+use dhs_core::checked_cast;
 
 /// A chain equi-join over relations identified by index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,11 +34,11 @@ impl JoinQuery {
 
 /// Per-bucket histogram of `A ⋈ B` under the uniform-within-bucket model.
 pub fn join_histogram(spec: &BucketSpec, a: &[f64], b: &[f64]) -> Vec<f64> {
-    assert_eq!(a.len(), spec.buckets as usize);
-    assert_eq!(b.len(), spec.buckets as usize);
-    (0..spec.buckets as usize)
+    assert_eq!(a.len(), checked_cast::<usize, _>(spec.buckets));
+    assert_eq!(b.len(), checked_cast::<usize, _>(spec.buckets));
+    (0..checked_cast::<usize, _>(spec.buckets))
         .map(|i| {
-            let (lo, hi) = spec.range_of(i as u32);
+            let (lo, hi) = spec.range_of(checked_cast(i));
             let w = f64::from(hi - lo);
             a[i] * b[i] / w
         })

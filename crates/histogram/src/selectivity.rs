@@ -6,6 +6,7 @@
 //! bucket — the classic equi-width model of Selinger-style optimizers.
 
 use crate::buckets::BucketSpec;
+use dhs_core::checked_cast;
 
 /// A histogram view: a partitioning plus per-bucket (possibly estimated)
 /// tuple counts.
@@ -18,7 +19,7 @@ pub struct Selectivity<'a> {
 impl<'a> Selectivity<'a> {
     /// Wrap a histogram. `counts.len()` must equal the bucket count.
     pub fn new(spec: BucketSpec, counts: &'a [f64]) -> Self {
-        assert_eq!(counts.len(), spec.buckets as usize);
+        assert_eq!(counts.len(), checked_cast::<usize, _>(spec.buckets));
         Selectivity { spec, counts }
     }
 
@@ -35,7 +36,7 @@ impl<'a> Selectivity<'a> {
             let overlap_hi = hi.min(bhi);
             if overlap_hi > overlap_lo {
                 let frac = f64::from(overlap_hi - overlap_lo) / f64::from(bhi - blo);
-                total += self.counts[b as usize] * frac;
+                total += self.counts[checked_cast::<usize, _>(b)] * frac;
             }
         }
         total
@@ -47,7 +48,7 @@ impl<'a> Selectivity<'a> {
             None => 0.0,
             Some(b) => {
                 let (lo, hi) = self.spec.range_of(b);
-                self.counts[b as usize] / f64::from(hi - lo)
+                self.counts[checked_cast::<usize, _>(b)] / f64::from(hi - lo)
             }
         }
     }

@@ -1,0 +1,25 @@
+//! One-off generator for fixture expected JSONL (dev aid).
+use std::fs;
+use std::path::Path;
+
+use dhs_lint::{lint_source, render_jsonl, NameSet};
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let names = NameSet::from_names(["op.insert".to_string(), "latency.ticks".to_string()]);
+    let cases = [
+        ("clean", "crates/core/src/clean.rs"),
+        ("determinism", "crates/core/src/determinism.rs"),
+        ("lossy_cast", "crates/core/src/lossy.rs"),
+        ("metric_names", "crates/core/src/metrics.rs"),
+        ("panic_hygiene", "crates/dht/src/panics.rs"),
+        ("allowed", "crates/core/src/allowed.rs"),
+    ];
+    for (case, rel) in cases {
+        let src = fs::read_to_string(root.join(rel)).unwrap();
+        let findings = lint_source(&format!("fixtures/{rel}"), &src, &names);
+        let out = render_jsonl(&findings, 1);
+        fs::write(root.join("expected").join(format!("{case}.jsonl")), &out).unwrap();
+        print!("--- {case}\n{out}");
+    }
+}

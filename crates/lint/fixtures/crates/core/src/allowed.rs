@@ -1,0 +1,22 @@
+//! Every violation in this file carries a `dhs-lint: allow(...)`
+//! directive — the lint must report nothing.
+
+/// A trailing directive covers its own line.
+pub fn pack_rank(rank: u64) -> u8 {
+    rank as u8 // dhs-lint: allow(lossy_cast) — rank < 256 by construction
+}
+
+/// A comment-only directive covers the next code line, even with
+/// explanation lines in between — and the leading `*` deref below must
+/// not be mistaken for a block-comment interior.
+pub fn last(v: &[u64]) -> u64 {
+    // dhs-lint: allow(panic_hygiene) — invariant: caller checks emptiness.
+    // (Extra explanation line between directive and code.)
+    *v.last().expect("non-empty")
+}
+
+/// One directive may carry several rules.
+pub fn both(v: &[u64]) -> u8 {
+    // dhs-lint: allow(panic_hygiene, lossy_cast)
+    *v.first().unwrap() as u8
+}

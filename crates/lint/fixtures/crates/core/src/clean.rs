@@ -1,0 +1,19 @@
+//! A well-behaved replay-path library file: ordered maps, checked casts,
+//! no casual panics, no wall clocks. The lint must report nothing.
+
+use std::collections::BTreeMap;
+
+/// Sums the values of an ordered map (deterministic iteration).
+pub fn sum(map: &BTreeMap<u64, u64>) -> u64 {
+    map.values().sum()
+}
+
+/// Widening casts are always fine.
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}
+
+/// `unwrap_or`-style combinators are not `unwrap()`.
+pub fn first_or_zero(v: &[u64]) -> u64 {
+    v.first().copied().unwrap_or(0)
+}

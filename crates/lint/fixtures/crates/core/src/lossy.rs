@@ -1,0 +1,23 @@
+//! Narrowing `as` casts that must go through `dhs_core::checked_cast`:
+//! each one is a `lossy_cast` finding.
+
+/// Silent byte truncation: one finding.
+pub fn pack_rank(rank: u64) -> u8 {
+    rank as u8
+}
+
+/// The PR 3 bug class — `m > 65536` wraps a vector id: one finding.
+pub fn vector_id(low: u64) -> u16 {
+    low as u16
+}
+
+/// Narrowing to usize is also flagged (32-bit targets truncate): one
+/// finding.
+pub fn index_of(bit: u64) -> usize {
+    bit as usize
+}
+
+/// Widening and float casts are not narrowing: no findings.
+pub fn widen_and_scale(x: u16) -> f64 {
+    (x as u64) as f64
+}

@@ -1,0 +1,25 @@
+//! Casual panics in library code: flagged by `panic_hygiene` — except
+//! inside `#[cfg(test)]`, which is always exempt.
+
+/// `unwrap()` on an option: one finding.
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+/// `expect()` without an allow: one finding.
+pub fn last(v: &[u64]) -> u64 {
+    *v.last().expect("non-empty")
+}
+
+/// `panic!` in library code: one finding.
+pub fn boom() {
+    panic!("kaboom");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Workspace traversal: find the `.rs` files to lint, in a stable
+//! sorted order, and run the rules over all of them.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{lint_source, Finding, NameSet};
+
+/// Directories scanned relative to the workspace root.
+pub const SCAN_ROOTS: &[&str] = &["crates", "src", "examples", "tests"];
+
+/// Collect every `.rs` file under the scan roots, as sorted
+/// workspace-relative forward-slash paths. `target/` and the lint
+/// crate's own `fixtures/` trees are skipped.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            collect(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Locate the canonical name table (`crates/obs/src/names.rs`) under
+/// `root`, if present.
+pub fn find_names_source(root: &Path) -> Option<PathBuf> {
+    let p = root.join("crates/obs/src/names.rs");
+    p.is_file().then_some(p)
+}
+
+/// Lint every source file under `root`. Returns `(findings,
+/// files_scanned)`.
+pub fn lint_workspace(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
+    let names = match find_names_source(root) {
+        Some(p) => NameSet::parse(&fs::read_to_string(p)?),
+        None => NameSet::default(),
+    };
+    let files = rust_sources(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        findings.extend(lint_source(rel, &source, &names));
+    }
+    findings.sort();
+    Ok((findings, files.len()))
+}
+
+/// Walk upward from `start` to the directory containing the workspace
+/// `Cargo.toml` (identified by a `[workspace]` table).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Fixture corpus tests: each fixture file under `fixtures/` (a mirror
+//! of the real workspace layout) must produce byte-for-byte the JSONL
+//! recorded in `fixtures/expected/<case>.jsonl`.
+//!
+//! Regenerate the expected files with
+//! `cargo run -p dhs-lint --example gen_expected` after an intentional
+//! rule change — and eyeball the diff.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dhs_lint::{classify, lint_source, render_jsonl, NameSet};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// The canonical-name table every fixture case is linted against.
+fn names() -> NameSet {
+    // Exercise the textual names.rs parser, not just `from_names`.
+    NameSet::parse(
+        r#"
+        /// Canonical.
+        pub const OP_INSERT: &str = "op.insert";
+        /// Canonical.
+        pub const LATENCY_TICKS: &str = "latency.ticks";
+        "#,
+    )
+}
+
+fn check(case: &str, rel: &str) {
+    let root = fixture_root();
+    let src = fs::read_to_string(root.join(rel)).unwrap();
+    let findings = lint_source(&format!("fixtures/{rel}"), &src, &names());
+    let got = render_jsonl(&findings, 1);
+    let want = fs::read_to_string(root.join("expected").join(format!("{case}.jsonl"))).unwrap();
+    assert_eq!(got, want, "fixture `{case}` JSONL drifted");
+}
+
+#[test]
+fn clean_file_reports_nothing() {
+    check("clean", "crates/core/src/clean.rs");
+}
+
+#[test]
+fn determinism_violations_are_found() {
+    check("determinism", "crates/core/src/determinism.rs");
+}
+
+#[test]
+fn lossy_casts_are_found() {
+    check("lossy_cast", "crates/core/src/lossy.rs");
+}
+
+#[test]
+fn off_registry_metric_names_are_found() {
+    check("metric_names", "crates/core/src/metrics.rs");
+}
+
+#[test]
+fn casual_panics_are_found() {
+    check("panic_hygiene", "crates/dht/src/panics.rs");
+}
+
+#[test]
+fn allow_directives_suppress_everything() {
+    check("allowed", "crates/core/src/allowed.rs");
+}
+
+#[test]
+fn fixture_paths_classify_like_workspace_paths() {
+    let via_fixture = classify("fixtures/crates/core/src/determinism.rs");
+    let direct = classify("crates/core/src/determinism.rs");
+    assert_eq!(via_fixture, direct);
+    assert!(via_fixture.is_library);
+    assert_eq!(via_fixture.crate_name, "core");
+}
+
+#[test]
+fn linting_is_deterministic_per_file() {
+    let root = fixture_root();
+    let rel = "crates/core/src/determinism.rs";
+    let src = fs::read_to_string(root.join(rel)).unwrap();
+    let names = names();
+    let a = render_jsonl(&lint_source(rel, &src, &names), 1);
+    let b = render_jsonl(&lint_source(rel, &src, &names), 1);
+    assert_eq!(a, b, "same input must render byte-identical JSONL");
+}

@@ -1,0 +1,29 @@
+//! The gate itself, as a test: the real workspace must lint clean, and
+//! two full runs must render byte-identical JSONL.
+
+use std::path::Path;
+
+use dhs_lint::{lint_workspace, render_jsonl};
+
+fn workspace_root() -> &'static Path {
+    // crates/lint/../.. — the directory holding the workspace Cargo.toml.
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn real_workspace_has_zero_findings() {
+    let (findings, scanned) = lint_workspace(workspace_root()).unwrap();
+    assert!(scanned > 50, "suspiciously few files scanned: {scanned}");
+    assert!(
+        findings.is_empty(),
+        "workspace lint findings:\n{}",
+        render_jsonl(&findings, scanned)
+    );
+}
+
+#[test]
+fn two_runs_are_byte_identical() {
+    let (f1, n1) = lint_workspace(workspace_root()).unwrap();
+    let (f2, n2) = lint_workspace(workspace_root()).unwrap();
+    assert_eq!(render_jsonl(&f1, n1), render_jsonl(&f2, n2));
+}

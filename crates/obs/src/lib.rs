@@ -13,6 +13,8 @@
 //! - [`Recorder`] — the object-safe seam the rest of the stack reports
 //!   through; [`NoopRecorder`] makes instrumentation free when off, and
 //!   [`Observer`] bundles all three components behind it.
+//! - [`names`] — the canonical table of every metric/span name; recorder
+//!   call sites must use these constants (enforced by `dhs-lint`).
 //!
 //! Everything here is deterministic: `BTreeMap` storage, completion-order
 //! span export, and FNV-1a digests mean two same-seed runs produce
@@ -24,6 +26,7 @@
 pub mod fnv;
 pub mod load;
 pub mod metrics;
+pub mod names;
 pub mod recorder;
 pub mod span;
 

@@ -84,11 +84,11 @@ impl Observer {
 /// Counter name for a delivered message of kind-tag `kind`.
 fn delivered_counter(kind: u8) -> &'static str {
     match kind {
-        1 => "msg.lookup.delivered",
-        2 => "msg.store.delivered",
-        3 => "msg.probe.delivered",
-        4 => "msg.succ_scan.delivered",
-        _ => "msg.other.delivered",
+        1 => crate::names::MSG_LOOKUP_DELIVERED,
+        2 => crate::names::MSG_STORE_DELIVERED,
+        3 => crate::names::MSG_PROBE_DELIVERED,
+        4 => crate::names::MSG_SUCC_SCAN_DELIVERED,
+        _ => crate::names::MSG_OTHER_DELIVERED,
     }
 }
 

@@ -59,16 +59,20 @@ pub fn alpha_hyperloglog(m: usize) -> f64 {
 pub fn alpha_superloglog(m: usize) -> f64 {
     static CACHE: OnceLock<Mutex<HashMap<usize, f64>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(&a) = cache.lock().expect("alpha cache poisoned").get(&m) {
+    // A poisoned lock only means another thread panicked mid-insert; the
+    // cached values themselves are plain floats, so recover the guard.
+    if let Some(&a) = cache.lock().unwrap_or_else(|p| p.into_inner()).get(&m) {
         return a;
     }
     let a = calibrate_alpha_superloglog(m, 0x005e_eda1_1ce5);
-    cache.lock().expect("alpha cache poisoned").insert(m, a);
+    cache.lock().unwrap_or_else(|p| p.into_inner()).insert(m, a);
     a
 }
 
 /// Number of registers kept by the truncation rule.
+#[allow(clippy::cast_possible_truncation)]
 pub fn truncated_count(m: usize) -> usize {
+    // dhs-lint: allow(lossy_cast) — float→int: a truncation index ≤ m.
     (((m as f64) * THETA_0).floor() as usize).max(1)
 }
 
@@ -85,6 +89,7 @@ pub(crate) fn truncated_raw_estimate(regs: &MaxRegisters) -> f64 {
 
 /// Monte-Carlo calibration of `α̃_m`: simulate the sketch on `n` uniform
 /// hashes for several trials and several `n`, and return `n / E[raw]`.
+#[allow(clippy::cast_possible_truncation)]
 fn calibrate_alpha_superloglog(m: usize, seed: u64) -> f64 {
     let c = m.trailing_zeros();
     assert!(m.is_power_of_two(), "m must be a power of two");
@@ -97,7 +102,9 @@ fn calibrate_alpha_superloglog(m: usize, seed: u64) -> f64 {
             let mut regs = MaxRegisters::new(m);
             for _ in 0..n {
                 let h: u64 = rng.gen();
+                // dhs-lint: allow(lossy_cast) — masked by m − 1, fits usize.
                 let bucket = (h & (m as u64 - 1)) as usize;
+                // dhs-lint: allow(lossy_cast) — clamped to 64, fits u8.
                 let rank = (rho(h >> c).min(63) + 1) as u8;
                 regs.observe(bucket, rank);
             }

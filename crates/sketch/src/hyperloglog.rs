@@ -77,9 +77,12 @@ impl CardinalityEstimator for HyperLogLog {
     }
 
     #[inline]
+    #[allow(clippy::cast_possible_truncation)]
     fn insert_hash(&mut self, hash: u64) {
         let m = self.regs.len() as u64;
+        // dhs-lint: allow(lossy_cast) — masked by m − 1 (m ≤ 2^16), fits.
         let bucket = (hash & (m - 1)) as usize;
+        // dhs-lint: allow(lossy_cast) — clamped to 255, fits u8.
         let rank = (rho(hash >> self.bucket_bits) + 1).min(255) as u8;
         self.regs.observe(bucket, rank);
     }

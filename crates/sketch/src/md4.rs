@@ -141,12 +141,14 @@ impl Md4 {
     /// `u64` — the form DHS uses for 64-bit identifiers.
     pub fn digest_u64(data: &[u8]) -> u64 {
         let digest = Self::digest(data);
+        // dhs-lint: allow(panic_hygiene) — invariant: the slice length is fixed at 8 above.
         u64::from_le_bytes(digest[..8].try_into().expect("8-byte slice"))
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
         let mut x = [0u32; 16];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
+            // dhs-lint: allow(panic_hygiene) — invariant: chunks_exact(4) yields 4-byte chunks.
             x[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
         }
         let [mut a, mut b, mut c, mut d] = self.state;

@@ -62,6 +62,7 @@ pub fn bit(y: u64, k: u32) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test data has known ranges
 mod tests {
     use super::*;
 

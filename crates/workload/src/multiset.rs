@@ -20,8 +20,11 @@ pub struct DuplicatedMultiset {
 
 impl DuplicatedMultiset {
     /// `distinct` items, each appearing exactly `copies` times, shuffled.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn uniform_copies(distinct: u64, copies: u32, rng: &mut impl Rng) -> Self {
         assert!(copies >= 1);
+        // dhs-lint: allow(lossy_cast) — a capacity hint; workloads are far
+        // below usize::MAX items.
         let mut items = Vec::with_capacity((distinct * u64::from(copies)) as usize);
         for item in 0..distinct {
             for _ in 0..copies {
@@ -35,11 +38,13 @@ impl DuplicatedMultiset {
     /// `distinct` items with Zipf-skewed copy counts: item of popularity
     /// rank `i` appears `⌈max_copies / i^θ⌉` times. Models "popular
     /// documents indexed everywhere".
+    #[allow(clippy::cast_possible_truncation)]
     pub fn zipf_copies(distinct: u64, max_copies: u32, theta: f64, rng: &mut impl Rng) -> Self {
         assert!(max_copies >= 1);
         let mut items = Vec::new();
         for item in 0..distinct {
             let rank = item + 1;
+            // dhs-lint: allow(lossy_cast) — float→int: ≤ max_copies, fits u32.
             let copies = ((f64::from(max_copies) / (rank as f64).powf(theta)).ceil() as u32).max(1);
             for _ in 0..copies {
                 items.push(item);

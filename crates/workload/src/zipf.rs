@@ -34,6 +34,7 @@ impl Zipf {
             *p /= total;
         }
         // Guard against floating-point round-off at the top end.
+        // dhs-lint: allow(panic_hygiene) — invariant: cdf has one entry per rank and ranks >= 1.
         *cdf.last_mut().expect("non-empty") = 1.0;
         Zipf { cdf, theta }
     }

@@ -1,3 +1,4 @@
+#![allow(clippy::cast_possible_truncation)] // test data has known ranges
 //! Property-based tests for the workload generators.
 
 use dhs_workload::multiset::DuplicatedMultiset;

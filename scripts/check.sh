@@ -4,6 +4,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all --check
+
+# Static-analysis gate first: dhs-lint enforces determinism, lossy-cast,
+# metric-name, and panic-hygiene invariants (see DESIGN.md). Its JSONL
+# must also be byte-identical across two runs — the lint polices
+# determinism, so it had better be deterministic itself.
+lint_a=$(mktemp)
+lint_b=$(mktemp)
+trap 'rm -f "$lint_a" "$lint_b"' EXIT
+cargo run --release --quiet -p dhs-lint > "$lint_a"
+cargo run --release --quiet -p dhs-lint > "$lint_b"
+cmp "$lint_a" "$lint_b"
+echo "dhs-lint: clean, two runs byte-identical"
+
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 cargo build --workspace --examples
@@ -18,7 +31,7 @@ DHS_BENCH_MS=25 cargo bench --workspace --quiet
 # (metrics JSONL, span digests, load table and all).
 run_a=$(mktemp)
 run_b=$(mktemp)
-trap 'rm -f "$run_a" "$run_b"' EXIT
+trap 'rm -f "$lint_a" "$lint_b" "$run_a" "$run_b"' EXIT
 cargo run --release --quiet --example observability > "$run_a"
 cargo run --release --quiet --example observability > "$run_b"
 cmp "$run_a" "$run_b"
