@@ -2,7 +2,11 @@
 use std::fs;
 use std::path::Path;
 
-use dhs_lint::{lint_source, render_jsonl, NameSet};
+use dhs_lint::{flow_files, lint_source, render_flow_jsonl, render_jsonl, rust_sources, NameSet};
+
+/// The flow fixture cases: each is a mini-workspace under
+/// `fixtures/flow/<case>/`.
+pub const FLOW_CASES: &[&str] = &["cycles", "dropped", "entropy", "flow_clean", "plumbing"];
 
 fn main() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
@@ -21,5 +25,19 @@ fn main() {
         let out = render_jsonl(&findings, 1);
         fs::write(root.join("expected").join(format!("{case}.jsonl")), &out).unwrap();
         print!("--- {case}\n{out}");
+    }
+    for case in FLOW_CASES {
+        let case_root = root.join("flow").join(case);
+        let mut inputs = Vec::new();
+        for rel in rust_sources(&case_root).unwrap() {
+            let src = fs::read_to_string(case_root.join(&rel)).unwrap();
+            inputs.push((rel, src));
+        }
+        let (findings, stats) = flow_files(&inputs);
+        let out = render_flow_jsonl(&findings, &stats);
+        let dest = root.join("flow").join("expected");
+        fs::create_dir_all(&dest).unwrap();
+        fs::write(dest.join(format!("{case}.jsonl")), &out).unwrap();
+        print!("--- flow/{case}\n{out}");
     }
 }

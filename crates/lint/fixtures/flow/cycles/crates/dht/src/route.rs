@@ -1,0 +1,35 @@
+//! Fixture: recursion through routing code needs a `cycle-ok` note.
+
+/// Violation: mutual recursion, no annotation on either participant.
+pub fn route_left(hops: u64) -> u64 {
+    if hops == 0 {
+        0
+    } else {
+        route_right(hops - 1)
+    }
+}
+
+pub fn route_right(hops: u64) -> u64 {
+    route_left(hops)
+}
+
+// dhs-flow: cycle-ok(interval strictly shrinks each hop; see DESIGN.md)
+pub fn route_bounded(lo: u64, hi: u64) -> u64 {
+    if hi - lo <= 1 {
+        lo
+    } else {
+        route_bounded(lo, lo + (hi - lo) / 2)
+    }
+}
+
+/// Not a cycle: `clear` calls the *field's* same-named method, and the
+/// resolver must not read that as a self-loop.
+pub struct RouteCache {
+    entries: Vec<u64>,
+}
+
+impl RouteCache {
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}

@@ -1,0 +1,37 @@
+//! Fixture: discarded `Result`s from transport/store APIs.
+
+/// A Result-returning API (all workspace fns of this name agree).
+pub fn send_probe(dst: u64) -> Result<u64, ()> {
+    Err(())
+}
+
+pub fn fan_out(dsts: &[u64]) {
+    for &d in dsts {
+        // Violation: bound to `_`, error silently dropped.
+        let _ = send_probe(d);
+    }
+}
+
+pub fn fire_and_forget(dst: u64) {
+    // Violation: statement-position call, value (and error) discarded.
+    send_probe(dst);
+}
+
+pub fn fan_out_checked(dsts: &[u64]) -> Result<u64, ()> {
+    let mut last = 0;
+    for &d in dsts {
+        // Clean: the Result is propagated.
+        last = send_probe(d)?;
+    }
+    Ok(last)
+}
+
+pub fn fan_out_counted(dsts: &[u64]) -> usize {
+    // Clean: the Result is inspected.
+    dsts.iter().filter(|&&d| send_probe(d).is_ok()).count()
+}
+
+pub fn best_effort(dst: u64) {
+    // dhs-flow: allow(dropped-result) — fixture: documented fire-and-forget.
+    let _ = send_probe(dst);
+}

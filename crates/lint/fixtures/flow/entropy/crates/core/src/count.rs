@@ -1,0 +1,14 @@
+//! Fixture: an entry point transitively reaching a wall clock two
+//! calls deep, across a crate boundary.
+
+/// Entry point (matches the `count*` prefix). Taint flows in through
+/// `pick_start`, which is defined in the sibling `dht` fixture crate.
+pub fn count_interval(lo: u64, hi: u64) -> u64 {
+    let start = pick_start(lo, hi);
+    start.wrapping_add(hi - lo)
+}
+
+/// Clean entry point: the RNG is caller-supplied, nothing tainted.
+pub fn count_seeded(rng: &mut impl Rng, lo: u64, hi: u64) -> u64 {
+    lo + rng.gen_range(0..(hi - lo))
+}

@@ -1,0 +1,13 @@
+//! Fixture: the middle and bottom of the taint chain.
+
+/// Looks innocent, but reaches the wall clock through `clock_ms`.
+pub fn pick_start(lo: u64, hi: u64) -> u64 {
+    lo + clock_ms() % (hi - lo)
+}
+
+fn clock_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_millis() as u64
+}

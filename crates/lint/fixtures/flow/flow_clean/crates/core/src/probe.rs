@@ -1,0 +1,35 @@
+//! Fixture: a file that satisfies every flow rule.
+
+/// RNG threaded through parameters all the way down.
+pub fn count_nodes(rng: &mut impl Rng, m: u64) -> u64 {
+    (0..m).map(|_| draw_node(rng, m)).sum::<u64>() / m.max(1)
+}
+
+fn draw_node(rng: &mut impl Rng, m: u64) -> u64 {
+    rng.gen_range(0..m)
+}
+
+/// Results are handled, never discarded.
+pub fn send_all(dsts: &[u64]) -> Result<usize, ()> {
+    let mut ok = 0;
+    for &d in dsts {
+        match send_one(d) {
+            Ok(()) => ok += 1,
+            Err(()) => return Err(()),
+        }
+    }
+    Ok(ok)
+}
+
+fn send_one(_dst: u64) -> Result<(), ()> {
+    Ok(())
+}
+
+// dhs-flow: cycle-ok(depth halves every call)
+fn bisect(lo: u64, hi: u64) -> u64 {
+    if hi - lo <= 1 {
+        lo
+    } else {
+        bisect(lo, (lo + hi) / 2)
+    }
+}

@@ -1,0 +1,36 @@
+//! Fixture: RNG-plumbing discipline — draws must come from a
+//! caller-supplied generator.
+
+/// Violation: constructs and draws from its own generator.
+pub fn jitter_owned(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen_range(0..100)
+}
+
+/// Clean: the generator is a parameter (`impl Rng`).
+pub fn jitter_param(rng: &mut impl Rng) -> u64 {
+    rng.gen_range(0..100)
+}
+
+/// Clean: turbofish draw, generator still a parameter (`R: Rng`).
+pub fn jitter_generic<R: Rng>(rng: &mut R) -> u64 {
+    rng.gen::<u64>() % 100
+}
+
+/// A sampler whose impl block carries the Rng bound: methods inherit it.
+pub struct Sampler<R: Rng> {
+    rng: R,
+}
+
+impl<R: Rng> Sampler<R> {
+    /// Clean: `R: Rng` comes from the impl generics.
+    pub fn draw(&mut self) -> u64 {
+        self.rng.gen()
+    }
+}
+
+// dhs-flow: allow(rng-plumbing) — fixture: documented owned stream.
+pub fn jitter_allowed(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}

@@ -1,0 +1,565 @@
+//! Interprocedural flow rules over the [`crate::callgraph`].
+//!
+//! Rule catalog (ids are what `// dhs-flow: allow(<rule>)` takes):
+//!
+//! | id               | guards against                                          |
+//! |------------------|---------------------------------------------------------|
+//! | `entropy-taint`  | protocol entry points transitively reaching wall clocks |
+//! |                  | or OS entropy (`thread_rng`, `from_entropy`, …)         |
+//! | `rng-plumbing`   | library fns drawing from an RNG they own instead of a   |
+//! |                  | caller-supplied `&mut impl Rng`                         |
+//! | `dropped-result` | `let _ =` / statement-position discards of `Result`s    |
+//! |                  | from `Transport`/store/retry APIs                       |
+//! | `recursion-bound`| call-graph cycles without a `dhs-flow: cycle-ok(reason)`|
+//! |                  | annotation on every participating fn                    |
+//!
+//! Scope: library sources of non-exempt crates; `#[cfg(test)]` extents
+//! and test/example targets are out. Taint propagates over resolved
+//! *and* ambiguous call edges (over-approximation is safe for taint);
+//! recursion detection uses resolved edges only (over-approximation
+//! would fabricate cycles).
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::{CallGraph, FnId};
+use crate::items::{parse_items, FileItems};
+use crate::lexer::{Tok, Token};
+use crate::rules::Finding;
+
+/// Prefixes that mark a fn as a protocol/simulation entry point for
+/// `entropy-taint` (paper Alg. 1 surfaces plus the sim drivers).
+pub const ENTRY_PREFIXES: &[&str] = &[
+    "insert", "count", "route", "refresh", "repair", "run", "exchange", "simulate",
+];
+
+/// RNG draw methods: a call to any of these is "drawing".
+const DRAW_METHODS: &[&str] = &[
+    "gen",
+    "gen_range",
+    "gen_bool",
+    "gen_ratio",
+    "sample",
+    "fill",
+    "shuffle",
+    "choose",
+];
+
+/// Result-returning APIs whose discard is always suspicious, even when
+/// the workspace item table cannot see them (trait objects, generics).
+const RESULT_APIS: &[&str] = &["exchange", "routed_exchange", "with_retry"];
+
+/// Summary statistics of one flow run (rendered into the report's
+/// trailing JSONL line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Library files parsed.
+    pub files_scanned: usize,
+    /// Non-test fns in the call graph.
+    pub functions: usize,
+    /// Resolved call edges.
+    pub resolved_edges: usize,
+    /// Call sites that resolved ambiguously.
+    pub ambiguous_calls: usize,
+}
+
+/// Run the flow analysis over `(path, source)` pairs. Paths select
+/// scope via [`crate::rules::classify`]; non-library and exempt files
+/// are skipped. Returns sorted, deduplicated findings plus stats.
+pub fn flow_files(inputs: &[(String, String)]) -> (Vec<Finding>, FlowStats) {
+    let files: Vec<FileItems> = inputs
+        .iter()
+        .map(|(p, s)| parse_items(p, s))
+        .filter(|f| f.class.is_library && !f.class.exempt)
+        .collect();
+    let graph = CallGraph::build(&files);
+
+    let mut findings = Vec::new();
+    entropy_taint(&files, &graph, &mut findings);
+    rng_plumbing(&files, &graph, &mut findings);
+    dropped_result(&files, &graph, &mut findings);
+    recursion_bound(&files, &graph, &mut findings);
+    findings.sort();
+    findings.dedup();
+
+    let stats = FlowStats {
+        files_scanned: files.len(),
+        functions: graph.fns.len(),
+        resolved_edges: graph.callees.iter().map(|c| c.len()).sum(),
+        ambiguous_calls: graph.ambiguous_sites,
+    };
+    (findings, stats)
+}
+
+fn qual<'a>(files: &'a [FileItems], g: &CallGraph, id: FnId) -> &'a str {
+    let r = g.fns[id];
+    &files[r.file].fns[r.item].qual_name
+}
+
+fn line_snippet(files: &[FileItems], g: &CallGraph, id: FnId) -> (String, u32, String) {
+    let r = g.fns[id];
+    let f = &files[r.file].fns[r.item];
+    let snippet = files[r.file]
+        .lines
+        .get(f.line as usize - 1)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default();
+    (files[r.file].path.clone(), f.line, snippet)
+}
+
+// ---------------------------------------------------------------------
+// entropy-taint
+// ---------------------------------------------------------------------
+
+/// The entropy/wall-clock source directly used by a fn body, if any.
+fn direct_source(toks: &[Token], open: usize, close: usize) -> Option<&'static str> {
+    for i in open + 1..close {
+        match &toks[i].kind {
+            Tok::Ident(s) if s == "thread_rng" => return Some("thread_rng"),
+            Tok::Ident(s) if s == "from_entropy" => return Some("from_entropy"),
+            Tok::Ident(s) if s == "SystemTime" => return Some("SystemTime"),
+            Tok::Ident(s)
+                if s == "Instant"
+                    && toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                    && toks.get(i + 2).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                    && crate::rules::is_ident_at(toks, i + 3, "now") =>
+            {
+                return Some("Instant::now");
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn entropy_taint(files: &[FileItems], g: &CallGraph, out: &mut Vec<Finding>) {
+    let n = g.fns.len();
+    let mut source: Vec<Option<&'static str>> = vec![None; n];
+    for (id, r) in g.fns.iter().enumerate() {
+        let file = &files[r.file];
+        if let Some((open, close)) = file.fns[r.item].body {
+            source[id] = direct_source(&file.tokens, open, close);
+        }
+    }
+    // Fixpoint over callers: a fn calling a tainted fn is tainted.
+    let rev = g.reverse_over_approx();
+    let mut tainted: Vec<bool> = source.iter().map(|s| s.is_some()).collect();
+    let mut work: Vec<FnId> = (0..n).filter(|&i| tainted[i]).collect();
+    while let Some(v) = work.pop() {
+        for &caller in &rev[v] {
+            if !tainted[caller] {
+                tainted[caller] = true;
+                work.push(caller);
+            }
+        }
+    }
+
+    for id in 0..n {
+        if !tainted[id] {
+            continue;
+        }
+        let r = g.fns[id];
+        let f = &files[r.file].fns[r.item];
+        if !ENTRY_PREFIXES.iter().any(|p| f.name.starts_with(p)) {
+            continue;
+        }
+        if f.allows("entropy-taint") {
+            continue;
+        }
+        let (path, line, _) = line_snippet(files, g, id);
+        let chain = witness_chain(files, g, id, &source, &tainted);
+        out.push(Finding {
+            path,
+            line,
+            rule: "entropy-taint",
+            snippet: chain,
+        });
+    }
+}
+
+/// Deterministic witness: a shortest path (BFS, ids ascending) from
+/// `entry` to some fn with a direct entropy source.
+fn witness_chain(
+    files: &[FileItems],
+    g: &CallGraph,
+    entry: FnId,
+    source: &[Option<&'static str>],
+    tainted: &[bool],
+) -> String {
+    let mut prev: Vec<Option<FnId>> = vec![None; g.fns.len()];
+    let mut seen = vec![false; g.fns.len()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[entry] = true;
+    queue.push_back(entry);
+    let mut hit = None;
+    'bfs: while let Some(v) = queue.pop_front() {
+        if let Some(label) = source[v] {
+            hit = Some((v, label));
+            break 'bfs;
+        }
+        let nexts: BTreeSet<FnId> = g.callees[v]
+            .iter()
+            .chain(g.ambiguous[v].iter())
+            .copied()
+            .filter(|&w| tainted[w])
+            .collect();
+        for w in nexts {
+            if !seen[w] {
+                seen[w] = true;
+                prev[w] = Some(v);
+                queue.push_back(w);
+            }
+        }
+    }
+    let Some((end, label)) = hit else {
+        return format!("entropy reachable from {}", qual(files, g, entry));
+    };
+    let mut chain = vec![end];
+    while let Some(p) = prev[*chain.last().expect("nonempty")] {
+        chain.push(p);
+    }
+    chain.reverse();
+    let names: Vec<&str> = chain.iter().map(|&v| qual(files, g, v)).collect();
+    format!("entropy: {} -> [{label}]", names.join(" -> "))
+}
+
+// ---------------------------------------------------------------------
+// rng-plumbing
+// ---------------------------------------------------------------------
+
+/// Does the body draw from an RNG (`.gen(`, `.gen_range(`,
+/// `.gen::<T>(`, …)?
+fn draws(toks: &[Token], open: usize, close: usize) -> bool {
+    for i in open + 1..close {
+        let Tok::Ident(m) = &toks[i].kind else {
+            continue;
+        };
+        if !DRAW_METHODS.contains(&m.as_str()) {
+            continue;
+        }
+        if i == 0 || toks[i - 1].kind != Tok::Punct('.') {
+            continue;
+        }
+        match toks.get(i + 1).map(|t| &t.kind) {
+            Some(Tok::Punct('(')) => return true,
+            // Turbofish: `.gen::<u64>()`.
+            Some(Tok::Punct(':')) if toks.get(i + 2).map(|t| &t.kind) == Some(&Tok::Punct(':')) => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn rng_plumbing(files: &[FileItems], g: &CallGraph, out: &mut Vec<Finding>) {
+    for (id, r) in g.fns.iter().enumerate() {
+        let file = &files[r.file];
+        let f = &file.fns[r.item];
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        if f.has_rng_param || f.allows("rng-plumbing") {
+            continue;
+        }
+        if !draws(&file.tokens, open, close) {
+            continue;
+        }
+        let (path, line, snippet) = line_snippet(files, g, id);
+        out.push(Finding {
+            path,
+            line,
+            rule: "rng-plumbing",
+            snippet,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// dropped-result
+// ---------------------------------------------------------------------
+
+/// Names whose call results must not be discarded: the hardcoded
+/// Transport/retry surface plus every workspace fn name whose parsed
+/// candidates all return `Result`.
+fn flagged_names(files: &[FileItems], g: &CallGraph) -> BTreeSet<String> {
+    let mut yes: BTreeSet<String> = RESULT_APIS.iter().map(|s| s.to_string()).collect();
+    let mut no: BTreeSet<String> = BTreeSet::new();
+    for r in &g.fns {
+        let f = &files[r.file].fns[r.item];
+        if f.returns_result {
+            yes.insert(f.name.clone());
+        } else {
+            no.insert(f.name.clone());
+        }
+    }
+    // Mixed-return names are dropped (cannot tell at a call site), but
+    // the hardcoded API surface always stays.
+    yes.retain(|n| RESULT_APIS.contains(&n.as_str()) || !no.contains(n));
+    yes
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn dropped_result(files: &[FileItems], g: &CallGraph, out: &mut Vec<Finding>) {
+    let flagged = flagged_names(files, g);
+    for r in &g.fns {
+        let file = &files[r.file];
+        let f = &file.fns[r.item];
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        if f.allows("dropped-result") {
+            continue;
+        }
+        let toks = &file.tokens;
+        let mut j = open + 1;
+        while j < close {
+            // `let _ = <expr containing a flagged call> ;`
+            if crate::rules::is_ident(&toks[j], "let")
+                && crate::rules::is_ident_at(toks, j + 1, "_")
+                && toks.get(j + 2).map(|t| &t.kind) == Some(&Tok::Punct('='))
+            {
+                let mut k = j + 3;
+                let mut depth = 0usize;
+                let mut culprit = None;
+                while k < close {
+                    match &toks[k].kind {
+                        Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                        Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                            depth = depth.saturating_sub(1)
+                        }
+                        Tok::Punct(';') if depth == 0 => break,
+                        Tok::Ident(n)
+                            if flagged.contains(n.as_str())
+                                && toks.get(k + 1).map(|t| &t.kind) == Some(&Tok::Punct('(')) =>
+                        {
+                            culprit.get_or_insert(k);
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if let Some(c) = culprit {
+                    report_drop(file, toks, j, c, out);
+                }
+                j = k;
+                continue;
+            }
+            // Statement-position call: `;|{|}  [recv . | Path ::] name ( … ) ;`
+            if let Tok::Ident(n) = &toks[j].kind {
+                if flagged.contains(n.as_str()) && crate::items::is_call_at(toks, j) {
+                    // Walk the receiver/path chain back to the start of
+                    // the expression.
+                    let mut k = j;
+                    loop {
+                        if k >= 2
+                            && toks[k - 1].kind == Tok::Punct('.')
+                            && matches!(&toks[k - 2].kind, Tok::Ident(_))
+                        {
+                            k -= 2;
+                            continue;
+                        }
+                        if k >= 3
+                            && toks[k - 1].kind == Tok::Punct(':')
+                            && toks[k - 2].kind == Tok::Punct(':')
+                            && matches!(&toks[k - 3].kind, Tok::Ident(_))
+                        {
+                            k -= 3;
+                            continue;
+                        }
+                        break;
+                    }
+                    let at_stmt_start = k == 0
+                        || matches!(
+                            toks[k - 1].kind,
+                            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}')
+                        );
+                    if at_stmt_start {
+                        if let Some(cp) = matching_paren(toks, j + 1) {
+                            if toks.get(cp + 1).map(|t| &t.kind) == Some(&Tok::Punct(';')) {
+                                report_drop(file, toks, j, j, out);
+                            }
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+fn report_drop(file: &FileItems, toks: &[Token], stmt: usize, call: usize, out: &mut Vec<Finding>) {
+    let line = toks[stmt].line;
+    let _ = call;
+    if let Some(rules) = file.flow_allows.get(&line) {
+        if rules.contains("dropped-result") {
+            return;
+        }
+    }
+    let snippet = file
+        .lines
+        .get(line as usize - 1)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default();
+    out.push(Finding {
+        path: file.path.clone(),
+        line,
+        rule: "dropped-result",
+        snippet,
+    });
+}
+
+// ---------------------------------------------------------------------
+// recursion-bound
+// ---------------------------------------------------------------------
+
+fn recursion_bound(files: &[FileItems], g: &CallGraph, out: &mut Vec<Finding>) {
+    for comp in g.recursive_components() {
+        let names: Vec<&str> = comp.iter().map(|&v| qual(files, g, v)).collect();
+        let cycle = names.join(" -> ");
+        for &id in &comp {
+            let r = g.fns[id];
+            let f = &files[r.file].fns[r.item];
+            if f.cycle_ok || f.allows("recursion-bound") {
+                continue;
+            }
+            let (path, line, _) = line_snippet(files, g, id);
+            out.push(Finding {
+                path,
+                line,
+                rule: "recursion-bound",
+                snippet: format!("recursion cycle without cycle-ok: {cycle}"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> (Vec<Finding>, FlowStats) {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        flow_files(&owned)
+    }
+
+    #[test]
+    fn transitive_entropy_is_found_with_chain() {
+        let (fs, _) = run(&[(
+            "crates/core/src/a.rs",
+            "pub fn count_all() -> f64 { helper() }\n\
+             fn helper() -> f64 { now_ms() as f64 }\n\
+             fn now_ms() -> u64 { SystemTime::now() }\n",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:#?}");
+        assert_eq!(fs[0].rule, "entropy-taint");
+        assert_eq!(fs[0].line, 1);
+        assert!(
+            fs[0].snippet.contains("count_all -> helper -> now_ms"),
+            "{}",
+            fs[0].snippet
+        );
+    }
+
+    #[test]
+    fn clean_rng_plumbing_passes_and_owned_rng_fails() {
+        let (fs, _) = run(&[(
+            "crates/core/src/a.rs",
+            "pub fn insert_one(rng: &mut impl Rng) { rng.gen::<u64>(); }\n\
+             fn owned() -> u64 { let mut r = StdRng::seed_from_u64(1); r.gen() }\n",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:#?}");
+        assert_eq!(fs[0].rule, "rng-plumbing");
+        assert_eq!(fs[0].line, 2);
+    }
+
+    #[test]
+    fn dropped_results_found_in_both_positions() {
+        let (fs, _) = run(&[(
+            "crates/core/src/a.rs",
+            "fn send() -> Result<(), ()> { Ok(()) }\n\
+             fn a() { let _ = send(); }\n\
+             fn b() { send(); }\n\
+             fn c() -> Result<(), ()> { send() }\n\
+             fn d() { send().unwrap_or(()); }\n",
+        )]);
+        let lines: Vec<u32> = fs.iter().map(|f| f.line).collect();
+        assert!(fs.iter().all(|f| f.rule == "dropped-result"));
+        assert_eq!(lines, vec![2, 3], "{fs:#?}");
+    }
+
+    #[test]
+    fn unannotated_cycles_are_findings_and_cycle_ok_silences() {
+        let (fs, _) = run(&[(
+            "crates/dht/src/a.rs",
+            "fn ping() { pong() }\n\
+             fn pong() { ping() }\n\
+             // dhs-flow: cycle-ok(strictly shrinking interval)\n\
+             fn walk(n: u64) { if n > 0 { walk(n - 1) } }\n",
+        )]);
+        assert_eq!(fs.len(), 2, "{fs:#?}");
+        assert!(fs.iter().all(|f| f.rule == "recursion-bound"));
+        assert!(fs[0].snippet.contains("ping -> pong"));
+    }
+
+    #[test]
+    fn test_code_and_exempt_crates_are_out_of_scope() {
+        let (fs, stats) = run(&[
+            (
+                "crates/core/src/a.rs",
+                "#[cfg(test)]\nmod tests {\n  fn t() { let mut r = X::new(); r.gen::<u8>(); }\n}\n",
+            ),
+            (
+                "crates/bench/src/b.rs",
+                "fn owned() { let mut r = X::new(); r.gen::<u8>(); }\n",
+            ),
+        ]);
+        assert!(fs.is_empty(), "{fs:#?}");
+        assert_eq!(stats.files_scanned, 1, "bench crate is exempt");
+        assert_eq!(stats.functions, 0, "cfg(test) fns are out");
+    }
+
+    #[test]
+    fn allow_directive_silences_each_rule() {
+        let (fs, _) = run(&[(
+            "crates/core/src/a.rs",
+            "// dhs-flow: allow(rng-plumbing) — calibration owns its seeded stream\n\
+             fn calibrate() -> u64 { let mut r = StdRng::seed_from_u64(1); r.gen() }\n\
+             fn send() -> Result<(), ()> { Ok(()) }\n\
+             fn f() {\n    // dhs-flow: allow(dropped-result) — fire and forget\n    let _ = send();\n}\n",
+        )]);
+        assert!(fs.is_empty(), "{fs:#?}");
+    }
+
+    #[test]
+    fn taint_propagates_through_ambiguous_method_calls() {
+        let (fs, stats) = run(&[(
+            "crates/net/src/a.rs",
+            "struct A;\nimpl A {\n  fn tick(&self) -> u64 { SystemTime::now() }\n}\n\
+             struct B;\nimpl B {\n  fn tick(&self) -> u64 { 0 }\n}\n\
+             pub fn run_clock(a: &A) -> u64 { a.tick() }\n",
+        )]);
+        assert_eq!(stats.ambiguous_calls, 1);
+        assert_eq!(fs.len(), 1, "{fs:#?}");
+        assert_eq!(fs[0].rule, "entropy-taint");
+    }
+}

@@ -11,11 +11,21 @@
 //!    sites must come from `dhs_obs::names` (`metric_names`), and
 //!    library code must not panic casually (`panic_hygiene`).
 //!
-//! The pipeline is [`lexer`] (a small hand-rolled Rust lexer: strings,
-//! char literals, raw strings, nested block comments) → [`rules`] (a
-//! token-pattern rule engine with `// dhs-lint: allow(<rule>)`
-//! escape hatches) → [`report`] (deterministic JSONL, sorted by
-//! path/line/rule, byte-identical across runs).
+//! The token pipeline is [`lexer`] (a small hand-rolled Rust lexer:
+//! strings, char literals, raw strings, nested block comments) →
+//! [`rules`] (a token-pattern rule engine with
+//! `// dhs-lint: allow(<rule>)` escape hatches) → [`report`]
+//! (deterministic JSONL, sorted by path/line/rule, byte-identical
+//! across runs).
+//!
+//! On top of that sits **dhs-flow** (`dhs-lint --flow`), an
+//! interprocedural layer: [`items`] parses `fn`/`impl` structure out
+//! of the token stream, [`callgraph`] resolves calls workspace-wide
+//! (with explicit ambiguity accounting), and [`flow`] runs fixpoint
+//! taint propagation plus whole-program rules: `entropy-taint`,
+//! `rng-plumbing`, `dropped-result`, `recursion-bound`. Escape
+//! hatches: `// dhs-flow: allow(<rule>)` and
+//! `// dhs-flow: cycle-ok(<reason>)`.
 //!
 //! Run it as `cargo run --release -p dhs-lint` from anywhere in the
 //! workspace; it exits non-zero when any finding survives.
@@ -23,11 +33,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod flow;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod walk;
 
-pub use report::render_jsonl;
+pub use flow::{flow_files, FlowStats};
+pub use report::{render_flow_jsonl, render_jsonl};
 pub use rules::{classify, lint_source, FileClass, Finding, NameSet};
-pub use walk::{find_names_source, lint_workspace, rust_sources};
+pub use walk::{find_names_source, flow_workspace, lint_workspace, rust_sources};

@@ -4,8 +4,9 @@
 //! Usage:
 //!
 //! ```text
-//! dhs-lint             # lint the enclosing workspace
-//! dhs-lint <dir>       # lint the workspace rooted at <dir>
+//! dhs-lint                 # token rules over the enclosing workspace
+//! dhs-lint <dir>           # token rules over the workspace at <dir>
+//! dhs-lint --flow [dir]    # interprocedural flow rules instead
 //! ```
 //!
 //! Exit status: 0 when clean, 1 when any finding survives, 2 on I/O
@@ -15,10 +16,12 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dhs_lint::walk::find_workspace_root;
-use dhs_lint::{lint_workspace, render_jsonl};
+use dhs_lint::{flow_workspace, lint_workspace, render_flow_jsonl, render_jsonl};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let flow = args.iter().any(|a| a == "--flow");
+    args.retain(|a| a != "--flow");
     let root = match args.as_slice() {
         [] => {
             // Prefer the manifest dir so `cargo run -p dhs-lint` works
@@ -36,15 +39,26 @@ fn main() -> ExitCode {
         }
         [dir] => PathBuf::from(dir),
         _ => {
-            eprintln!("usage: dhs-lint [workspace-root]");
+            eprintln!("usage: dhs-lint [--flow] [workspace-root]");
             return ExitCode::from(2);
         }
     };
 
-    match lint_workspace(&root) {
-        Ok((findings, files_scanned)) => {
-            print!("{}", render_jsonl(&findings, files_scanned));
-            if findings.is_empty() {
+    let rendered = if flow {
+        flow_workspace(&root).map(|(findings, stats)| {
+            let clean = findings.is_empty();
+            (render_flow_jsonl(&findings, &stats), clean)
+        })
+    } else {
+        lint_workspace(&root).map(|(findings, files_scanned)| {
+            let clean = findings.is_empty();
+            (render_jsonl(&findings, files_scanned), clean)
+        })
+    };
+    match rendered {
+        Ok((out, clean)) => {
+            print!("{out}");
+            if clean {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(1)

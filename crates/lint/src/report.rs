@@ -5,6 +5,7 @@
 //! dependency) with stable field order, so two runs over the same tree
 //! are byte-identical — `scripts/check.sh` diffs them to prove it.
 
+use crate::flow::FlowStats;
 use crate::rules::Finding;
 
 /// Render findings (plus a summary line) as JSONL.
@@ -27,6 +28,33 @@ pub fn render_jsonl(findings: &[Finding], files_scanned: usize) -> String {
     out.push_str(&format!(
         "{{\"files_scanned\":{},\"findings\":{}}}\n",
         files_scanned,
+        findings.len()
+    ));
+    out
+}
+
+/// Render flow findings plus the flow summary line as JSONL. Finding
+/// lines share the token-rule shape; the summary additionally carries
+/// call-graph statistics so coverage regressions are visible in diffs.
+pub fn render_flow_jsonl(findings: &[Finding], stats: &FlowStats) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort();
+    let mut out = String::new();
+    for f in sorted {
+        out.push_str(&format!(
+            "{{\"path\":{},\"line\":{},\"rule\":{},\"snippet\":{}}}\n",
+            escape(&f.path),
+            f.line,
+            escape(f.rule),
+            escape(&f.snippet),
+        ));
+    }
+    out.push_str(&format!(
+        "{{\"files_scanned\":{},\"functions\":{},\"resolved_edges\":{},\"ambiguous_calls\":{},\"findings\":{}}}\n",
+        stats.files_scanned,
+        stats.functions,
+        stats.resolved_edges,
+        stats.ambiguous_calls,
         findings.len()
     ));
     out
@@ -92,5 +120,58 @@ mod tests {
     fn empty_findings_still_emit_summary() {
         let out = render_jsonl(&[], 42);
         assert_eq!(out, "{\"files_scanned\":42,\"findings\":0}\n");
+    }
+
+    #[test]
+    fn escapes_backslashes_byte_exact() {
+        let mut f = finding("a.rs", 1, "determinism");
+        f.snippet = r#"let p = "C:\\tmp"; // say "hi""#.to_string();
+        let out = render_jsonl(&[f], 1);
+        assert_eq!(
+            out.lines().next().unwrap(),
+            "{\"path\":\"a.rs\",\"line\":1,\"rule\":\"determinism\",\
+             \"snippet\":\"let p = \\\"C:\\\\\\\\tmp\\\"; // say \\\"hi\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn non_ascii_passes_through_unescaped() {
+        let mut f = finding("a.rs", 7, "metric_names");
+        f.snippet = "θ0 = 0.7 → café ✓".to_string();
+        let out = render_jsonl(&[f], 1);
+        assert!(out.contains("\"snippet\":\"θ0 = 0.7 → café ✓\""), "{out}");
+        // Two renders are byte-identical (determinism of the escaper).
+        let f2 = {
+            let mut f2 = finding("a.rs", 7, "metric_names");
+            f2.snippet = "θ0 = 0.7 → café ✓".to_string();
+            f2
+        };
+        assert_eq!(out, render_jsonl(&[f2], 1));
+    }
+
+    #[test]
+    fn control_chars_use_unicode_escapes() {
+        let mut f = finding("a.rs", 3, "panic_hygiene");
+        f.snippet = "a\u{01}b\u{1f}c".to_string();
+        let out = render_jsonl(&[f], 1);
+        assert!(out.contains("a\\u0001b\\u001fc"), "{out}");
+    }
+
+    #[test]
+    fn flow_summary_carries_graph_stats() {
+        let stats = FlowStats {
+            files_scanned: 5,
+            functions: 12,
+            resolved_edges: 9,
+            ambiguous_calls: 2,
+        };
+        let out = render_flow_jsonl(&[finding("a.rs", 1, "rng-plumbing")], &stats);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[1],
+            "{\"files_scanned\":5,\"functions\":12,\"resolved_edges\":9,\
+             \"ambiguous_calls\":2,\"findings\":1}"
+        );
     }
 }

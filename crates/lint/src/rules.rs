@@ -234,15 +234,26 @@ impl Ctx<'_> {
 /// the code below. "Comment-only" is judged by the token stream (no token
 /// lands on the line), so text tricks like a leading `*` deref cannot be
 /// mistaken for a block-comment interior.
-fn allow_map(
+pub(crate) fn allow_map(
     comments: &[crate::lexer::Comment],
     toks: &[Token],
+) -> BTreeMap<u32, BTreeSet<String>> {
+    directive_map(comments, toks, "dhs-lint:")
+}
+
+/// [`allow_map`] generalized over the directive marker, so the flow
+/// analysis can reuse the exact same placement semantics for
+/// `// dhs-flow: allow(<rule>)`.
+pub(crate) fn directive_map(
+    comments: &[crate::lexer::Comment],
+    toks: &[Token],
+    marker: &str,
 ) -> BTreeMap<u32, BTreeSet<String>> {
     let code_lines: BTreeSet<u32> = toks.iter().map(|t| t.line).collect();
     let last_line = code_lines.iter().next_back().copied().unwrap_or(0);
     let mut directives: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
     for c in comments {
-        let rules = parse_allow(&c.text);
+        let rules = parse_allow(&c.text, marker);
         if !rules.is_empty() {
             directives.entry(c.line).or_default().extend(rules);
         }
@@ -263,12 +274,13 @@ fn allow_map(
     map
 }
 
-/// Extract rule ids from one comment's `dhs-lint: allow(…)` directive.
-fn parse_allow(text: &str) -> Vec<String> {
-    let Some(i) = text.find("dhs-lint:") else {
+/// Extract rule ids from one comment's `<marker> allow(…)` directive
+/// (`marker` is `"dhs-lint:"` or `"dhs-flow:"`).
+pub(crate) fn parse_allow(text: &str, marker: &str) -> Vec<String> {
+    let Some(i) = text.find(marker) else {
         return Vec::new();
     };
-    let rest = text[i + "dhs-lint:".len()..].trim_start();
+    let rest = text[i + marker.len()..].trim_start();
     let Some(rest) = rest.strip_prefix("allow(") else {
         return Vec::new();
     };
@@ -285,7 +297,7 @@ fn parse_allow(text: &str) -> Vec<String> {
 /// Line ranges covered by `#[cfg(test)]` items (almost always the
 /// `mod tests { … }` block). The attribute may carry any args containing
 /// the `test` ident (e.g. `cfg(all(test, feature = "x"))`).
-fn cfg_test_lines(toks: &[Token]) -> Vec<(u32, u32)> {
+pub(crate) fn cfg_test_lines(toks: &[Token]) -> Vec<(u32, u32)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -565,19 +577,19 @@ fn panic_hygiene(ctx: &mut Ctx<'_>, toks: &[Token]) {
 // token helpers
 // ---------------------------------------------------------------------
 
-fn p(c: char) -> Tok {
+pub(crate) fn p(c: char) -> Tok {
     Tok::Punct(c)
 }
 
-fn is_ident(t: &Token, name: &str) -> bool {
+pub(crate) fn is_ident(t: &Token, name: &str) -> bool {
     matches!(&t.kind, Tok::Ident(s) if s == name)
 }
 
-fn is_ident_at(toks: &[Token], i: usize, name: &str) -> bool {
+pub(crate) fn is_ident_at(toks: &[Token], i: usize, name: &str) -> bool {
     toks.get(i).map(|t| is_ident(t, name)).unwrap_or(false)
 }
 
-fn matches(toks: &[Token], start: usize, pattern: &[Tok]) -> bool {
+pub(crate) fn matches(toks: &[Token], start: usize, pattern: &[Tok]) -> bool {
     pattern
         .iter()
         .enumerate()

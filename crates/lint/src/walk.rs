@@ -5,6 +5,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::flow::{flow_files, FlowStats};
 use crate::rules::{lint_source, Finding, NameSet};
 
 /// Directories scanned relative to the workspace root.
@@ -75,6 +76,19 @@ pub fn lint_workspace(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
     }
     findings.sort();
     Ok((findings, files.len()))
+}
+
+/// Run the interprocedural flow analysis over every source file under
+/// `root`. Scope filtering (library-only, exempt crates out) happens
+/// inside [`flow_files`].
+pub fn flow_workspace(root: &Path) -> io::Result<(Vec<Finding>, FlowStats)> {
+    let files = rust_sources(root)?;
+    let mut inputs = Vec::with_capacity(files.len());
+    for rel in files {
+        let source = fs::read_to_string(root.join(&rel))?;
+        inputs.push((rel, source));
+    }
+    Ok(flow_files(&inputs))
 }
 
 /// Walk upward from `start` to the directory containing the workspace

@@ -1,0 +1,84 @@
+//! Regression tests for the escape-hatch placement semantics: a
+//! `// dhs-lint: allow(rule)` trailing on the finding's own line must
+//! behave identically to a comment on the preceding line, and one
+//! comment may carry several rules.
+
+use dhs_lint::{flow_files, lint_source, NameSet};
+
+fn lint(src: &str) -> Vec<&'static str> {
+    lint_source("crates/core/src/a.rs", src, &NameSet::default())
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn trailing_same_line_allow_suppresses() {
+    let src = "pub fn f(x: u64) -> u8 {\n    \
+               x as u8 // dhs-lint: allow(lossy_cast) — masked upstream\n}\n";
+    assert!(lint(src).is_empty(), "{:?}", lint(src));
+}
+
+#[test]
+fn preceding_line_allow_suppresses() {
+    let src = "pub fn f(x: u64) -> u8 {\n    \
+               // dhs-lint: allow(lossy_cast) — masked upstream\n    \
+               x as u8\n}\n";
+    assert!(lint(src).is_empty(), "{:?}", lint(src));
+}
+
+#[test]
+fn both_placements_are_equivalent_for_every_finding_line() {
+    // The same violation, allowed trailing vs. preceding, must yield
+    // the same (empty) result; unallowed, both report the same rule.
+    let bare = "pub fn f(x: u64) -> u8 {\n    x as u8\n}\n";
+    assert_eq!(lint(bare), vec!["lossy_cast"]);
+    let trailing = "pub fn f(x: u64) -> u8 {\n    x as u8 // dhs-lint: allow(lossy_cast)\n}\n";
+    let preceding =
+        "pub fn f(x: u64) -> u8 {\n    // dhs-lint: allow(lossy_cast)\n    x as u8\n}\n";
+    assert_eq!(lint(trailing), lint(preceding));
+    assert!(lint(trailing).is_empty());
+}
+
+#[test]
+fn multiple_rules_in_one_comment() {
+    // `as`-narrowing and a wall clock on one line, one combined allow.
+    let src = "pub fn f(x: u64) -> u8 {\n    \
+               let _t = SystemTime::now();\n    \
+               x as u8\n}\n";
+    let bare = lint(src);
+    assert_eq!(bare, vec!["determinism", "lossy_cast"], "{bare:?}");
+    let allowed = "pub fn f(x: u64) -> u8 {\n    \
+                   // dhs-lint: allow(determinism, lossy_cast) — fixture\n    \
+                   let _t = SystemTime::now();\n    \
+                   // dhs-lint: allow(determinism, lossy_cast)\n    \
+                   x as u8\n}\n";
+    assert!(lint(allowed).is_empty(), "{:?}", lint(allowed));
+}
+
+#[test]
+fn allow_only_covers_its_own_rule() {
+    let src = "pub fn f(x: u64) -> u8 {\n    \
+               x as u8 // dhs-lint: allow(determinism) — wrong rule\n}\n";
+    assert_eq!(lint(src), vec!["lossy_cast"]);
+}
+
+#[test]
+fn flow_allow_honors_both_placements_too() {
+    let trailing = [(
+        "crates/core/src/a.rs".to_string(),
+        "fn send() -> Result<(), ()> { Ok(()) }\n\
+         fn go() {\n    let _ = send(); // dhs-flow: allow(dropped-result)\n}\n"
+            .to_string(),
+    )];
+    let (f1, _) = flow_files(&trailing);
+    assert!(f1.is_empty(), "{f1:#?}");
+    let preceding = [(
+        "crates/core/src/a.rs".to_string(),
+        "fn send() -> Result<(), ()> { Ok(()) }\n\
+         fn go() {\n    // dhs-flow: allow(dropped-result)\n    let _ = send();\n}\n"
+            .to_string(),
+    )];
+    let (f2, _) = flow_files(&preceding);
+    assert!(f2.is_empty(), "{f2:#?}");
+}

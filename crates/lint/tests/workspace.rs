@@ -3,7 +3,7 @@
 
 use std::path::Path;
 
-use dhs_lint::{lint_workspace, render_jsonl};
+use dhs_lint::{flow_workspace, lint_workspace, render_flow_jsonl, render_jsonl};
 
 fn workspace_root() -> &'static Path {
     // crates/lint/../.. — the directory holding the workspace Cargo.toml.
@@ -26,4 +26,31 @@ fn two_runs_are_byte_identical() {
     let (f1, n1) = lint_workspace(workspace_root()).unwrap();
     let (f2, n2) = lint_workspace(workspace_root()).unwrap();
     assert_eq!(render_jsonl(&f1, n1), render_jsonl(&f2, n2));
+}
+
+#[test]
+fn real_workspace_flow_has_zero_findings() {
+    let (findings, stats) = flow_workspace(workspace_root()).unwrap();
+    assert!(
+        stats.files_scanned > 50,
+        "suspiciously few library files: {}",
+        stats.files_scanned
+    );
+    assert!(
+        stats.functions > 300,
+        "suspiciously small call graph: {} fns",
+        stats.functions
+    );
+    assert!(
+        findings.is_empty(),
+        "workspace flow findings:\n{}",
+        render_flow_jsonl(&findings, &stats)
+    );
+}
+
+#[test]
+fn two_flow_runs_are_byte_identical() {
+    let (f1, s1) = flow_workspace(workspace_root()).unwrap();
+    let (f2, s2) = flow_workspace(workspace_root()).unwrap();
+    assert_eq!(render_flow_jsonl(&f1, &s1), render_flow_jsonl(&f2, &s2));
 }

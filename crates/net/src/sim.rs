@@ -158,6 +158,10 @@ impl SimTransport {
     }
 
     /// One end-to-end delay: `legs` latency samples plus reorder jitter.
+    // dhs-flow: allow(rng-plumbing) — draws from the transport's own
+    // seeded RNG: the simulator's entropy is deliberately a separate
+    // stream from the protocol's so fault schedules replay identically
+    // regardless of how many probes the protocol makes.
     fn sample_delay(&mut self, legs: u64) -> u64 {
         let mut delay = 0u64;
         for _ in 0..legs {
@@ -174,6 +178,8 @@ impl SimTransport {
     /// into the ledger. Wire *bytes* are charged by the exchange logic —
     /// partial traversal charges partial bytes for routed sends.
     #[allow(clippy::too_many_arguments)]
+    // dhs-flow: allow(rng-plumbing) — same seeded transport-owned stream
+    // as `sample_delay`; see the module docs on RNG separation.
     fn transmit(
         &mut self,
         sent_at: u64,

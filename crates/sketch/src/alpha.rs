@@ -90,6 +90,9 @@ pub(crate) fn truncated_raw_estimate(regs: &MaxRegisters) -> f64 {
 /// Monte-Carlo calibration of `α̃_m`: simulate the sketch on `n` uniform
 /// hashes for several trials and several `n`, and return `n / E[raw]`.
 #[allow(clippy::cast_possible_truncation)]
+// dhs-flow: allow(rng-plumbing) — the calibration owns a stream seeded
+// from (seed, m) by construction: results are cached process-wide, so a
+// caller-supplied RNG would make the cache contents call-order-dependent.
 fn calibrate_alpha_superloglog(m: usize, seed: u64) -> f64 {
     let c = m.trailing_zeros();
     assert!(m.is_power_of_two(), "m must be a power of two");

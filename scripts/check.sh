@@ -17,6 +17,17 @@ cargo run --release --quiet -p dhs-lint > "$lint_b"
 cmp "$lint_a" "$lint_b"
 echo "dhs-lint: clean, two runs byte-identical"
 
+# Interprocedural gate: dhs-flow builds the workspace call graph and
+# checks entropy-taint, rng-plumbing, dropped-result, and
+# recursion-bound whole-program invariants. Same determinism contract.
+flow_a=$(mktemp)
+flow_b=$(mktemp)
+trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b"' EXIT
+cargo run --release --quiet -p dhs-lint -- --flow > "$flow_a"
+cargo run --release --quiet -p dhs-lint -- --flow > "$flow_b"
+cmp "$flow_a" "$flow_b"
+echo "dhs-lint --flow: clean, two runs byte-identical"
+
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 cargo build --workspace --examples
@@ -31,7 +42,7 @@ DHS_BENCH_MS=25 cargo bench --workspace --quiet
 # (metrics JSONL, span digests, load table and all).
 run_a=$(mktemp)
 run_b=$(mktemp)
-trap 'rm -f "$lint_a" "$lint_b" "$run_a" "$run_b"' EXIT
+trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$run_a" "$run_b"' EXIT
 cargo run --release --quiet --example observability > "$run_a"
 cargo run --release --quiet --example observability > "$run_b"
 cmp "$run_a" "$run_b"
