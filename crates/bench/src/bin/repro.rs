@@ -37,14 +37,17 @@ const EXPERIMENTS: &[Experiment] = &[
     ("network", experiments::network),
     ("loadbalance", experiments::load_balance),
     ("fastpath", experiments::fastpath),
+    ("shard", experiments::shard),
 ];
 
 fn usage() -> String {
     let names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
     format!(
-        "usage: repro <experiment|all|bench> [--scale F] [--nodes N] [--seed S] \
-         [--trials T] [--m M] [--k K] [--quick]\n\
+        "usage: repro <experiment|all|bench|bench-shard> [--scale F] [--nodes N] \
+         [--seed S] [--trials T] [--m M] [--k K] [--quick] [--out FILE]\n\
          bench: emit BENCH_dhs.json (baseline vs dhs-fast headline numbers)\n\
+         bench-shard: emit BENCH_shard.json (sharded-store memory/throughput); \
+         --out overrides the output path\n\
          experiments: {}",
         names.join(", ")
     )
@@ -59,6 +62,7 @@ fn main() -> ExitCode {
     let which = args[0].clone();
     let mut exp = ExpConfig::default();
     let mut quick = false;
+    let mut out: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -92,6 +96,10 @@ fn main() -> ExitCode {
                 Some(v) => exp.k = v,
                 None => return fail("--k needs an integer"),
             },
+            "--out" => match next(&mut i) {
+                Some(v) => out = Some(v),
+                None => return fail("--out needs a path"),
+            },
             other => return fail(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -100,14 +108,19 @@ fn main() -> ExitCode {
         exp = exp.quick();
     }
 
-    if which == "bench" {
-        let json = experiments::fastpath_bench_json(&exp);
+    if which == "bench" || which == "bench-shard" {
+        let (json, default_path) = if which == "bench" {
+            (experiments::fastpath_bench_json(&exp), "BENCH_dhs.json")
+        } else {
+            (experiments::shard_bench_json(&exp), "BENCH_shard.json")
+        };
+        let path = out.as_deref().unwrap_or(default_path);
         print!("{json}");
-        if let Err(e) = std::fs::write("BENCH_dhs.json", &json) {
-            eprintln!("could not write BENCH_dhs.json: {e}");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("could not write {path}: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote BENCH_dhs.json");
+        eprintln!("wrote {path}");
         return ExitCode::SUCCESS;
     }
 

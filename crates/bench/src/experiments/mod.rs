@@ -11,6 +11,7 @@ mod load_balance;
 mod network;
 mod queryopt;
 mod scalability_exp;
+mod shard_exp;
 mod table2_exp;
 
 pub use ablations::{
@@ -27,4 +28,5 @@ pub use load_balance::load_balance;
 pub use network::network;
 pub use queryopt::queryopt;
 pub use scalability_exp::scalability;
+pub use shard_exp::{shard, shard_bench_json};
 pub use table2_exp::table2;

@@ -397,6 +397,29 @@ impl Dhs {
     /// nothing; a lost replica leg breaks the successor forwarding chain
     /// at that point.
     #[allow(clippy::too_many_arguments)]
+    /// Ship pre-grouped `(rank, tuples)` batches through the owner-batched
+    /// store path. This is the public seam external aggregation layers
+    /// drive — `dhs-shard`'s cross-shard flush builds its per-rank groups
+    /// and hands them here, inheriting routing, retry, batching, and cost
+    /// accounting unchanged.
+    ///
+    /// Groups must be in the caller's canonical order (ascending rank,
+    /// deduplicated tuples). Each group draws exactly one routing key from
+    /// `rng`, in group order, so the RNG stream stays byte-identical to an
+    /// equivalent sequence of unbatched stores. Returns one success flag
+    /// per group.
+    pub fn store_groups_via<O: Overlay, T: Transport>(
+        &self,
+        ring: &mut O,
+        transport: &mut T,
+        groups: &[(u32, Vec<DhsTuple>)],
+        origin: u64,
+        rng: &mut impl Rng,
+        ledger: &mut CostLedger,
+    ) -> Vec<bool> {
+        self.store_grouped(ring, transport, groups, origin, rng, ledger)
+    }
+
     fn store_grouped<O: Overlay, T: Transport>(
         &self,
         ring: &mut O,

@@ -22,10 +22,10 @@ use crate::lexer::{lex, Tok, Token};
 /// Crates on the deterministic-replay path: two same-seed runs must be
 /// byte-identical, so wall clocks, OS entropy, and hash-iteration order
 /// are banned outright.
-pub const REPLAY_CRATES: &[&str] = &["core", "net", "obs", "dht", "sketch"];
+pub const REPLAY_CRATES: &[&str] = &["core", "net", "obs", "dht", "sketch", "shard"];
 
 /// Crates whose recorder call sites must use `dhs_obs::names` constants.
-pub const METRIC_NAME_CRATES: &[&str] = &["core", "dht", "net", "obs"];
+pub const METRIC_NAME_CRATES: &[&str] = &["core", "dht", "net", "obs", "shard"];
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]

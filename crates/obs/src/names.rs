@@ -156,6 +156,33 @@ pub const MSG_SUCC_SCAN_DELIVERED: &str = "msg.succ_scan.delivered";
 pub const MSG_OTHER_DELIVERED: &str = "msg.other.delivered";
 
 // ---------------------------------------------------------------------
+// Sharded multi-tenant sketch store (dhs-shard).
+// ---------------------------------------------------------------------
+
+/// Register observations applied by the sharded store.
+pub const SHARD_OBSERVE: &str = "shard.observe";
+/// Cross-shard flush batches drained.
+pub const SHARD_FLUSH: &str = "shard.flush";
+/// Updates one shard received from one flush batch (histogram).
+pub const SHARD_FLUSH_BATCH: &str = "shard.flush.batch";
+/// Resident sketches per shard at snapshot time (histogram).
+pub const SHARD_OCCUPANCY: &str = "shard.occupancy";
+/// Accounted bytes per shard at snapshot time (histogram).
+pub const SHARD_BYTES: &str = "shard.bytes";
+/// Register payload bytes of one resident sketch (histogram).
+pub const SHARD_SKETCH_BYTES: &str = "shard.sketch.bytes";
+/// Sketches evicted to enforce a shard's memory budget.
+pub const SHARD_EVICT: &str = "shard.evict";
+/// Wire bytes spilled to the cold tier by evictions.
+pub const SHARD_SPILL_BYTES: &str = "shard.spill.bytes";
+/// Sketches recovered from the cold tier on re-access.
+pub const SHARD_RECOVER: &str = "shard.recover";
+/// Sparse → packed register-tier promotions.
+pub const SHARD_PROMOTE_PACKED: &str = "shard.promote.packed";
+/// Packed → dense register-tier promotions.
+pub const SHARD_PROMOTE_DENSE: &str = "shard.promote.dense";
+
+// ---------------------------------------------------------------------
 // Span names (bare verbs; regions of work on the virtual clock).
 // ---------------------------------------------------------------------
 
@@ -228,6 +255,17 @@ pub const ALL: &[&str] = &[
     MSG_SUCC_SCAN_HOPS,
     MSG_SUCC_SCAN_DELIVERED,
     MSG_OTHER_DELIVERED,
+    SHARD_OBSERVE,
+    SHARD_FLUSH,
+    SHARD_FLUSH_BATCH,
+    SHARD_OCCUPANCY,
+    SHARD_BYTES,
+    SHARD_SKETCH_BYTES,
+    SHARD_EVICT,
+    SHARD_SPILL_BYTES,
+    SHARD_RECOVER,
+    SHARD_PROMOTE_PACKED,
+    SHARD_PROMOTE_DENSE,
     SPAN_INSERT,
     SPAN_BULK_INSERT,
     SPAN_COUNT,

@@ -1,0 +1,118 @@
+//! Shipping flush batches to the DHT.
+//!
+//! The sharded store aggregates locally; this module drains a
+//! [`FlushBatch`] into the distributed store through `dhs-core`'s
+//! owner-batched seam ([`Dhs::store_groups_via`]). Updates are grouped
+//! canonically — ascending `(metric, rank)`, vectors sorted and
+//! deduplicated — so two same-seed runs draw identical routing keys and
+//! place identical tuples, and so each `(metric, rank)` group costs one
+//! routing-key draw exactly like `bulk_insert`'s native path.
+
+use std::collections::BTreeMap;
+
+use dhs_core::tuple::DhsTuple;
+use dhs_core::{Dhs, MetricId, Transport};
+use dhs_dht::{CostLedger, Overlay};
+use rand::Rng;
+
+use crate::router::FlushBatch;
+
+/// Outcome of one [`flush_batch_to_dht`] drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlushShipReport {
+    /// `(metric, rank)` groups shipped.
+    pub groups: usize,
+    /// Tuples shipped after per-group deduplication.
+    pub tuples: usize,
+    /// Groups whose store succeeded (every transport attempt may fail).
+    pub groups_ok: usize,
+}
+
+/// Drain `batch` into the DHT via `dhs`'s owner-batched store path. The
+/// batch is empty afterwards. See the module docs for the canonical
+/// grouping order.
+pub fn flush_batch_to_dht<O: Overlay, T: Transport>(
+    dhs: &Dhs,
+    ring: &mut O,
+    transport: &mut T,
+    batch: &mut FlushBatch,
+    origin: u64,
+    rng: &mut impl Rng,
+    ledger: &mut CostLedger,
+) -> FlushShipReport {
+    // Canonical grouping: ascending (metric, rank), vectors sorted+deduped.
+    let mut grouped: BTreeMap<(MetricId, u8), Vec<u16>> = BTreeMap::new();
+    for &(key, bucket, rank) in batch.updates() {
+        grouped
+            .entry((key.metric_id(), rank))
+            .or_default()
+            .push(bucket);
+    }
+    let mut groups: Vec<(u32, Vec<DhsTuple>)> = Vec::with_capacity(grouped.len());
+    let mut tuples = 0usize;
+    for ((metric, rank), mut vectors) in grouped {
+        vectors.sort_unstable();
+        vectors.dedup();
+        tuples += vectors.len();
+        let group: Vec<DhsTuple> = vectors
+            .into_iter()
+            .map(|vector| DhsTuple {
+                metric,
+                vector,
+                bit: rank,
+            })
+            .collect();
+        groups.push((u32::from(rank), group));
+    }
+    let ok = dhs.store_groups_via(ring, transport, &groups, origin, rng, ledger);
+    batch.clear();
+    FlushShipReport {
+        groups: groups.len(),
+        tuples,
+        groups_ok: ok.iter().filter(|&&b| b).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::SketchKey;
+    use dhs_core::{DhsConfig, DirectTransport};
+    use dhs_dht::{Ring, RingConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flush_places_tuples_like_bulk_insert_groups() {
+        let dhs = Dhs::new(DhsConfig::default()).unwrap();
+        let mut ring = Ring::build(64, RingConfig::default(), &mut StdRng::seed_from_u64(5));
+        let mut transport = DirectTransport;
+        let mut ledger = CostLedger::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let origin = ring.alive_ids()[0];
+
+        let mut batch = FlushBatch::new();
+        let key_a = SketchKey::new(1, 10);
+        let key_b = SketchKey::new(2, 10);
+        batch.push(key_a, 3, 0);
+        batch.push(key_a, 3, 0); // duplicate dedups away
+        batch.push(key_b, 7, 2);
+        batch.push(key_a, 5, 0);
+
+        let report = flush_batch_to_dht(
+            &dhs,
+            &mut ring,
+            &mut transport,
+            &mut batch,
+            origin,
+            &mut rng,
+            &mut ledger,
+        );
+        assert!(batch.is_empty());
+        // Groups: (key_a, rank 0) with vectors {3, 5}; (key_b, rank 2)
+        // with vector {7}.
+        assert_eq!(report.groups, 2);
+        assert_eq!(report.tuples, 3);
+        assert_eq!(report.groups_ok, 2);
+    }
+}

@@ -62,6 +62,7 @@ pub mod packed;
 pub mod pcsa;
 pub mod registers;
 pub mod rho;
+pub mod tiered;
 pub mod wire;
 
 pub use estimator::{CardinalityEstimator, MergeError, SketchConfigError};
@@ -75,4 +76,5 @@ pub use md4::Md4;
 pub use packed::PackedRegisters;
 pub use pcsa::{pcsa_estimate_from_first_zeros, Pcsa, PCSA_PHI};
 pub use rho::{rho, rho_capped};
+pub use tiered::{Tier, TieredRegisters};
 pub use wire::{DecodeError, WireSketch};

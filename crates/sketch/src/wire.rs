@@ -15,6 +15,11 @@
 //! byte 3     PCSA: bitmap width; others: 0
 //! bytes 4..  payload: PCSA m×u64 bitmaps; others m×u8 registers
 //! ```
+//!
+//! Tiered (compressed) registers use a second format under magic `0xD6`
+//! whose payload depends on the representation tier — see
+//! [`crate::tiered::TieredRegisters::to_wire`]. Both formats share this
+//! module's [`DecodeError`].
 
 use crate::estimator::CardinalityEstimator;
 use crate::hyperloglog::HyperLogLog;

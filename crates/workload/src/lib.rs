@@ -12,6 +12,8 @@
 //!   duplicate-(in)sensitivity experiments.
 //! * [`scenario`] — the named parameter sets of the evaluation (node
 //!   counts, DHS key length, bitmap counts, …).
+//! * [`tenants`] — the multi-tenant metric stream (10⁶ sketches, Zipf
+//!   popularity) that drives the sharded sketch store.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,9 +21,11 @@
 pub mod multiset;
 pub mod relation;
 pub mod scenario;
+pub mod tenants;
 pub mod zipf;
 
 pub use multiset::DuplicatedMultiset;
 pub use relation::{Relation, RelationSpec, Tuple, PAPER_RELATIONS};
 pub use scenario::PaperScenario;
+pub use tenants::{TenantUpdate, TenantWorkload};
 pub use zipf::Zipf;

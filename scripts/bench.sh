@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Reproduce the headline dhs-fast numbers: builds the workspace in
-# release mode, runs the `repro bench` subcommand, and leaves the
-# baseline-vs-optimized comparison in BENCH_dhs.json at the repo root.
+# Reproduce the headline benchmark numbers: builds the workspace in
+# release mode, runs the `repro bench` subcommand (baseline vs dhs-fast,
+# written to BENCH_dhs.json) and the `repro bench-shard` subcommand (the
+# 10⁶-metric sharded-store run, written to BENCH_shard.json).
 #
 # Extra flags are forwarded to repro (e.g. `scripts/bench.sh --quick`,
 # `scripts/bench.sh --nodes 256 --seed 7`).
@@ -10,3 +11,4 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo run --release -p dhs-bench --bin repro -- bench "$@"
+cargo run --release -p dhs-bench --bin repro -- bench-shard "$@"

@@ -48,4 +48,23 @@ cargo run --release --quiet --example observability > "$run_b"
 cmp "$run_a" "$run_b"
 echo "observability example: two runs byte-identical"
 
+# Sharded-store scenario at CI scale: the N4 workload (10⁶ metrics at
+# full scale, DHS_SHARD_METRICS-scaled here) through the tiered store,
+# twice. The JSON's state_digest folds routing, tier promotions,
+# eviction order, and every estimate — wall-clock-free, so two runs
+# must agree exactly.
+shard_a=$(mktemp)
+shard_b=$(mktemp)
+trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$run_a" "$run_b" "$shard_a" "$shard_b"' EXIT
+export DHS_SHARD_METRICS="${DHS_SHARD_METRICS:-20000}"
+cargo run --release --quiet -p dhs-bench --bin repro -- bench-shard --out "$shard_a" > /dev/null
+cargo run --release --quiet -p dhs-bench --bin repro -- bench-shard --out "$shard_b" > /dev/null
+digest_a=$(grep -o '"state_digest": "[^"]*"' "$shard_a")
+digest_b=$(grep -o '"state_digest": "[^"]*"' "$shard_b")
+[ -n "$digest_a" ] && [ "$digest_a" = "$digest_b" ]
+grep -q '"sharded_equals_single_shard": true' "$shard_a"
+grep -q '"lossless_spill_preserves_estimates": true' "$shard_a"
+grep -q '"two_runs_identical": true' "$shard_a"
+echo "shard scenario (DHS_SHARD_METRICS=$DHS_SHARD_METRICS): equivalent, two runs digest-identical"
+
 echo "all checks passed"

@@ -25,6 +25,10 @@
 //! * [`baselines`] — the related-work counting protocols the paper
 //!   argues against (single-node counters, gossip, tree aggregation,
 //!   sampling), implemented for quantitative comparison.
+//! * [`shard`] — the sharded multi-tenant sketch store: (tenant, metric)
+//!   keys, deterministic shard routing with cross-shard flush batches,
+//!   tiered compressed registers, and memory-budget eviction with
+//!   cold-tier spill.
 //! * [`workload`] — Zipf-distributed relations and multiset generators
 //!   matching the paper's evaluation setup.
 
@@ -34,5 +38,6 @@ pub use dhs_dht as dht;
 pub use dhs_histogram as histogram;
 pub use dhs_net as net;
 pub use dhs_obs as obs;
+pub use dhs_shard as shard;
 pub use dhs_sketch as sketch;
 pub use dhs_workload as workload;

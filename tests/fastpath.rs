@@ -23,7 +23,7 @@ use counting_at_large::dht::ring::{Ring, RingConfig};
 use counting_at_large::dht::route_cache::CachedOverlay;
 use counting_at_large::sketch::{ItemHasher, SplitMix64};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 const NODES: usize = 48;
 const METRIC: u32 = 7;
@@ -284,6 +284,108 @@ fn hinted_count_is_byte_identical_to_full_count() {
             "seed {seed}"
         );
         assert!(hinted.stats.probes < full.stats.probes, "seed {seed}");
+    }
+}
+
+/// An RNG that counts every draw and fingerprints the drawn values, so a
+/// test can assert two code paths consume *exactly* the same stream.
+struct CountingRng {
+    inner: StdRng,
+    draws: u64,
+    digest: u64,
+}
+
+impl CountingRng {
+    fn new(seed: u64) -> Self {
+        CountingRng {
+            inner: StdRng::seed_from_u64(seed),
+            draws: 0,
+            digest: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn absorb(&mut self, v: u64) {
+        self.draws += 1;
+        for b in v.to_le_bytes() {
+            self.digest ^= u64::from(b);
+            self.digest = self.digest.wrapping_mul(0x100_0000_01B3);
+        }
+    }
+}
+
+impl RngCore for CountingRng {
+    fn next_u32(&mut self) -> u32 {
+        let v = self.inner.next_u32();
+        self.absorb(u64::from(v));
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let v = self.inner.next_u64();
+        self.absorb(v);
+        v
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+        for &b in dest.iter() {
+            self.absorb(u64::from(b));
+        }
+    }
+}
+
+/// The hinted scan's byte-identity rests on one discipline: a skipped
+/// rank still draws (and discards) its interval key, so the probe RNG
+/// stream stays aligned with the full scan's. This pins that invariant
+/// directly — same seed ⇒ the two paths consume the same *number* of
+/// draws and the same *values*, not merely end at equal registers.
+#[test]
+fn hinted_scan_consumes_identical_rng_draws() {
+    let dhs = Dhs::new(small_config()).unwrap();
+    let mut ring = build_ring(61);
+    let origin = ring.alive_ids()[0];
+    let mut rng = StdRng::seed_from_u64(62);
+    let mut ledger = CostLedger::new();
+    let hasher = SplitMix64::default();
+    for i in 0..3_000u64 {
+        dhs.insert(
+            &mut ring,
+            METRIC,
+            hasher.hash_u64(i),
+            origin,
+            &mut rng,
+            &mut ledger,
+        );
+    }
+
+    let mut hint = ScanHint::new();
+    for seed in [101u64, 202, 303] {
+        let mut full_rng = CountingRng::new(seed);
+        let full = dhs.count(&ring, METRIC, origin, &mut full_rng, &mut CostLedger::new());
+        hint.record(METRIC, full.estimate);
+
+        let mut hinted_rng = CountingRng::new(seed);
+        let hinted = dhs.count_hinted(
+            &ring,
+            &mut hint,
+            METRIC,
+            origin,
+            &mut hinted_rng,
+            &mut CostLedger::new(),
+        );
+
+        // The hint is live (ranks really were skipped) …
+        assert!(hinted.stats.intervals_skipped > 0, "seed {seed}");
+        // … yet the RNG streams are in lock-step: same draw count, same
+        // drawn values.
+        assert_eq!(full_rng.draws, hinted_rng.draws, "seed {seed}");
+        assert_eq!(full_rng.digest, hinted_rng.digest, "seed {seed}");
+        assert_eq!(full.registers, hinted.registers, "seed {seed}");
+        assert_eq!(
+            full.estimate.to_bits(),
+            hinted.estimate.to_bits(),
+            "seed {seed}"
+        );
     }
 }
 
