@@ -407,17 +407,89 @@ pub fn fastpath(exp: &ExpConfig) -> String {
     out
 }
 
-/// The `repro bench` payload: headline baseline/optimized numbers as a
-/// JSON object (written to `BENCH_dhs.json` so future PRs can diff).
-pub fn fastpath_bench_json(exp: &ExpConfig) -> String {
+/// Everything both the BENCH JSON view and the ablation KPI view need
+/// from one N3 measurement: the baseline and fully-stacked layers on the
+/// Zipf workload, the same-seed hinted-count comparison, and the
+/// equivalence verdict.
+struct FastpathMeasurement {
+    len: usize,
+    domain: usize,
+    base: LayerOut,
+    opt: LayerOut,
+    hint: HintRow,
+    equivalent: bool,
+}
+
+/// Run the N3 headline measurement once.
+fn measure_fastpath(exp: &ExpConfig) -> FastpathMeasurement {
     let dhs = Dhs::new(exp.dhs_config()).expect("valid config");
     let domain = ((exp.scale * 100_000.0).round() as usize).max(1_000);
     let len = 4 * domain;
     let accesses = zipf_accesses(exp, domain, len);
-
     let base = run_layer(&dhs, exp, &accesses, Mode::Baseline);
     let opt = run_layer(&dhs, exp, &accesses, Mode::ElideRouteBatch);
     let hint = hint_comparison(&dhs, exp, &base.ring);
+    let equivalent = hint.identical
+        && stored_set(&base.ring) == stored_set(&opt.ring)
+        && exhaustive_estimate(&dhs, exp, &base.ring).to_bits()
+            == exhaustive_estimate(&dhs, exp, &opt.ring).to_bits();
+    FastpathMeasurement {
+        len,
+        domain,
+        base,
+        opt,
+        hint,
+        equivalent,
+    }
+}
+
+fn fastpath_config_digest(exp: &ExpConfig, mm: &FastpathMeasurement) -> String {
+    crate::provenance::config_digest(&[
+        ("experiment", "n3-fastpath".to_string()),
+        ("nodes", nodes(exp).to_string()),
+        ("m", exp.m.to_string()),
+        ("k", exp.k.to_string()),
+        ("accesses", mm.len.to_string()),
+        ("distinct", mm.domain.to_string()),
+        ("epochs", EPOCHS.to_string()),
+        ("trials", exp.trials.to_string()),
+        ("seed", exp.seed.to_string()),
+    ])
+}
+
+/// N3's deterministic KPIs as `ablation.*` metrics for the dhs-traj
+/// harness: counter totals for messages/hops/accesses and fixed-point
+/// milli-unit gauges for the fractional per-count measurements. No
+/// wall-clock quantity is recorded, so two same-seed runs produce
+/// digest-identical registries.
+#[allow(clippy::cast_possible_truncation)]
+pub fn fastpath_kpi_metrics(exp: &ExpConfig) -> dhs_obs::MetricsRegistry {
+    use dhs_obs::names;
+    let mm = measure_fastpath(exp);
+    let milli = |x: f64| (x.max(0.0) * 1000.0).round() as u64;
+    let mut m = dhs_obs::MetricsRegistry::new();
+    m.incr(names::ABL_MESSAGES_BASELINE, mm.base.messages);
+    m.incr(names::ABL_MESSAGES_OPTIMIZED, mm.opt.messages);
+    m.incr(names::ABL_HOPS_BASELINE, mm.base.hops);
+    m.incr(names::ABL_HOPS_OPTIMIZED, mm.opt.hops);
+    m.incr(names::ABL_ACCESSES, mm.len as u64);
+    m.incr(names::ABL_EPOCHS, EPOCHS as u64);
+    m.gauge_set(names::ABL_COUNT_BYTES_FULL, milli(mm.hint.kb_full * 1024.0));
+    m.gauge_set(
+        names::ABL_COUNT_BYTES_HINTED,
+        milli(mm.hint.kb_hinted * 1024.0),
+    );
+    m.gauge_set(names::ABL_INTERVALS_FULL, milli(mm.hint.scanned_full));
+    m.gauge_set(names::ABL_INTERVALS_HINTED, milli(mm.hint.scanned_hinted));
+    m.gauge_set(names::ABL_EQUIVALENT, u64::from(mm.equivalent));
+    m
+}
+
+/// The `repro bench` payload: headline baseline/optimized numbers as a
+/// JSON object (written to `BENCH_dhs.json` so future PRs can diff).
+pub fn fastpath_bench_json(exp: &ExpConfig) -> String {
+    let mm = measure_fastpath(exp);
+    let len = mm.len;
 
     let side = |layer: &LayerOut, scanned: f64, kb_count: f64| {
         format!(
@@ -435,6 +507,7 @@ pub fn fastpath_bench_json(exp: &ExpConfig) -> String {
         "{{\n  \"experiment\": \"dhs-fast N3 (Zipf 0.7)\",\n  \"config\": {{\n    \
          \"nodes\": {},\n    \"m\": {},\n    \"k\": {},\n    \"accesses\": {},\n    \
          \"distinct\": {},\n    \"epochs\": {},\n    \"seed\": {}\n  }},\n  \
+         \"provenance\": {},\n  \
          \"baseline\": {},\n  \"optimized\": {},\n  \
          \"message_reduction_pct\": {:.1},\n  \"hop_reduction_pct\": {:.1},\n  \
          \"estimates_identical\": {}\n}}\n",
@@ -442,16 +515,14 @@ pub fn fastpath_bench_json(exp: &ExpConfig) -> String {
         exp.m,
         exp.k,
         len,
-        domain,
+        mm.domain,
         EPOCHS,
         exp.seed,
-        side(&base, hint.scanned_full, hint.kb_full),
-        side(&opt, hint.scanned_hinted, hint.kb_hinted),
-        reduction_pct(base.messages, opt.messages),
-        reduction_pct(base.hops, opt.hops),
-        hint.identical
-            && stored_set(&base.ring) == stored_set(&opt.ring)
-            && exhaustive_estimate(&dhs, exp, &base.ring).to_bits()
-                == exhaustive_estimate(&dhs, exp, &opt.ring).to_bits()
+        crate::provenance::provenance_json(exp.seed, &fastpath_config_digest(exp, &mm)),
+        side(&mm.base, mm.hint.scanned_full, mm.hint.kb_full),
+        side(&mm.opt, mm.hint.scanned_hinted, mm.hint.kb_hinted),
+        reduction_pct(mm.base.messages, mm.opt.messages),
+        reduction_pct(mm.base.hops, mm.opt.hops),
+        mm.equivalent
     )
 }

@@ -13,6 +13,7 @@ mod queryopt;
 mod scalability_exp;
 mod shard_exp;
 mod table2_exp;
+mod trajectory;
 
 pub use ablations::{
     ablation_bitshift, ablation_churn, ablation_dynamics, ablation_failures, ablation_lim,
@@ -30,3 +31,7 @@ pub use queryopt::queryopt;
 pub use scalability_exp::scalability;
 pub use shard_exp::{shard, shard_bench_json};
 pub use table2_exp::table2;
+pub use trajectory::{
+    ablation_plans, n3_fastpath_plan, n4_shard_plan, smoke_fastpath_plan, smoke_shard_plan,
+    trajectory, BenchRunner, RunnerKind, PLAN_NAMES,
+};

@@ -38,15 +38,10 @@ const SHARDS: usize = 8;
 /// dense baseline — one byte per register — is still meaningfully large).
 const M: usize = 64;
 
-/// The workload shape. `DHS_SHARD_METRICS` (env) pins the metric count;
-/// otherwise `scale × 10⁷`, so the default `--scale 0.1` is the full
-/// 10⁶-metric run. Metrics land on tenants 1 000 at a time.
-fn shard_workload(exp: &ExpConfig) -> TenantWorkload {
-    let goal = std::env::var("DHS_SHARD_METRICS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or_else(|| (exp.scale * 1e7).round() as u64)
-        .max(64);
+/// The workload shape for `metrics` total metrics (clamped to ≥ 64).
+/// Metrics land on tenants 1 000 at a time.
+fn shard_workload_sized(metrics: u64) -> TenantWorkload {
+    let goal = metrics.max(64);
     let (tenants, metrics_per_tenant) = if goal >= 1_000 {
         ((goal / 1_000).min(1 << 16) as u32, 1_000u32)
     } else {
@@ -59,6 +54,22 @@ fn shard_workload(exp: &ExpConfig) -> TenantWorkload {
         theta: 0.7,
         extra_updates: 3 * total,
     }
+}
+
+/// The default workload: `DHS_SHARD_METRICS` (env) pins the metric
+/// count; otherwise `scale × 10⁷`, so the default `--scale 0.1` is the
+/// full 10⁶-metric run. An explicit `metrics` (from an ablation plan
+/// parameter) takes precedence over both.
+#[allow(clippy::cast_possible_truncation)]
+fn shard_workload(exp: &ExpConfig, metrics: Option<u64>) -> TenantWorkload {
+    let goal = metrics
+        .or_else(|| {
+            std::env::var("DHS_SHARD_METRICS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+        })
+        .unwrap_or_else(|| (exp.scale * 1e7).round() as u64);
+    shard_workload_sized(goal)
 }
 
 /// One pass of the workload through a store (any budget/cold-tier
@@ -142,9 +153,11 @@ struct ShardReport {
     state_digest: u64,
 }
 
-/// Run every phase once; both output formats render from this.
-fn run_report(exp: &ExpConfig) -> ShardReport {
-    let w = shard_workload(exp);
+/// Run every phase once; both output formats render from this. `metrics`
+/// (when given, e.g. from an ablation-plan factor) overrides the
+/// workload size ahead of `DHS_SHARD_METRICS` and `--scale`.
+fn run_report(exp: &ExpConfig, metrics: Option<u64>) -> ShardReport {
+    let w = shard_workload(exp, metrics);
     let mut rec = NoopRecorder;
 
     // Phase A: the sharded store, unlimited budget.
@@ -239,6 +252,36 @@ fn run_report(exp: &ExpConfig) -> ShardReport {
     }
 }
 
+/// N4's deterministic KPIs as `ablation.shard.*` metrics for the
+/// dhs-traj harness: resident/insert/eviction/recovery totals as
+/// counters and gauges, the fractional payload-bytes-per-sketch as a
+/// fixed-point milli-unit gauge, and the three equivalence verdicts as
+/// 0/1 gauges. Throughput (wall-clock) is deliberately absent.
+#[allow(clippy::cast_possible_truncation)]
+pub fn shard_kpi_metrics(exp: &ExpConfig, metrics: Option<u64>) -> dhs_obs::MetricsRegistry {
+    use dhs_obs::names;
+    let r = run_report(exp, metrics);
+    let t = totals(&r.sharded_stats);
+    let te = totals(&r.evict_stats);
+    let milli = |x: f64| (x.max(0.0) * 1000.0).round() as u64;
+    let mut m = dhs_obs::MetricsRegistry::new();
+    m.gauge_set(names::ABL_SHARD_RESIDENT, t.resident);
+    m.gauge_set(
+        names::ABL_SHARD_PAYLOAD_BYTES,
+        milli(payload_per_sketch(&t)),
+    );
+    m.incr(names::ABL_SHARD_INSERTS, t.inserts);
+    m.incr(names::ABL_SHARD_EVICTIONS, te.evictions);
+    m.incr(names::ABL_SHARD_RECOVERIES, te.recoveries);
+    m.gauge_set(names::ABL_SHARD_TRANSPARENT, u64::from(r.transparent));
+    m.gauge_set(names::ABL_SHARD_SPILL_LOSSLESS, u64::from(r.spill_lossless));
+    m.gauge_set(
+        names::ABL_SHARD_EVICT_DETERMINISTIC,
+        u64::from(r.evict_deterministic),
+    );
+    m
+}
+
 /// Mean payload (register) bytes per resident sketch: accounted bytes
 /// minus the fixed per-slot overhead, over the resident count.
 fn payload_per_sketch(t: &Totals) -> f64 {
@@ -251,7 +294,7 @@ fn payload_per_sketch(t: &Totals) -> f64 {
 /// N4 — sharded multi-tenant store: compression, throughput, and
 /// transparency/eviction equivalence checks.
 pub fn shard(exp: &ExpConfig) -> String {
-    let r = run_report(exp);
+    let r = run_report(exp, None);
     let w = &r.workload;
     let t = totals(&r.sharded_stats);
     let te = totals(&r.evict_stats);
@@ -349,7 +392,7 @@ pub fn shard(exp: &ExpConfig) -> String {
 /// `state_digest` is wall-clock-free, so two same-seed runs emit files
 /// that differ only in timing fields).
 pub fn shard_bench_json(exp: &ExpConfig) -> String {
-    let r = run_report(exp);
+    let r = run_report(exp, None);
     let w = &r.workload;
     let t = totals(&r.sharded_stats);
     let te = totals(&r.evict_stats);
@@ -372,11 +415,23 @@ pub fn shard_bench_json(exp: &ExpConfig) -> String {
     let dense = t.promotions_dense;
     let packed = t.promotions_packed - dense;
     let sparse = t.resident - t.promotions_packed;
+    let config_digest = crate::provenance::config_digest(&[
+        ("experiment", "n4-shard".to_string()),
+        ("metrics", w.total_metrics().to_string()),
+        ("tenants", w.tenants.to_string()),
+        ("metrics_per_tenant", w.metrics_per_tenant.to_string()),
+        ("updates", w.total_updates().to_string()),
+        ("shards", SHARDS.to_string()),
+        ("m", M.to_string()),
+        ("theta", w.theta.to_string()),
+        ("seed", exp.seed.to_string()),
+    ]);
     format!(
         "{{\n  \"experiment\": \"dhs-shard N4 (multi-tenant tiered store)\",\n  \
          \"config\": {{\n    \"metrics\": {},\n    \"tenants\": {},\n    \
          \"metrics_per_tenant\": {},\n    \"updates\": {},\n    \"shards\": {SHARDS},\n    \
          \"m\": {M},\n    \"theta\": {},\n    \"seed\": {}\n  }},\n  \
+         \"provenance\": {},\n  \
          \"memory\": {{\n    \"resident_sketches\": {},\n    \
          \"payload_bytes_per_sketch\": {:.2},\n    \"dense_baseline_bytes_per_sketch\": {M},\n    \
          \"payload_vs_dense_pct\": {:.1},\n    \"total_bytes\": {},\n    \
@@ -397,6 +452,7 @@ pub fn shard_bench_json(exp: &ExpConfig) -> String {
         w.total_updates(),
         w.theta,
         exp.seed,
+        crate::provenance::provenance_json(exp.seed, &config_digest),
         t.resident,
         payload_per_sketch(&t),
         100.0 * payload_per_sketch(&t) / M as f64,

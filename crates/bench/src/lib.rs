@@ -23,12 +23,14 @@
 //! | A6 | continuous churn with/without replica repair | [`experiments::ablation_dynamics`] |
 //! | B1 | §1 baseline comparison | [`experiments::baselines`] |
 //! | G1 | §1 DHT-agnosticism (Chord vs Kademlia) | [`experiments::geometry`] |
+//! | N5 | dhs-traj ablation harness + trajectory registry | [`experiments::trajectory`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod env;
 pub mod experiments;
+pub mod provenance;
 pub mod table;
 
 pub use env::ExpConfig;

@@ -8,8 +8,9 @@
 //! |                  | or OS entropy (`thread_rng`, `from_entropy`, …)         |
 //! | `rng-plumbing`   | library fns drawing from an RNG they own instead of a   |
 //! |                  | caller-supplied `&mut impl Rng`                         |
-//! | `dropped-result` | `let _ =` / statement-position discards of `Result`s    |
-//! |                  | from `Transport`/store/retry APIs                       |
+//! | `dropped-result` | discarded `Result`s from `Transport`/store/retry APIs:  |
+//! |                  | `let _ =`, statement-position calls, and bindings that  |
+//! |                  | are never read again (bound-then-unused)                |
 //! | `recursion-bound`| call-graph cycles without a `dhs-flow: cycle-ok(reason)`|
 //! |                  | annotation on every participating fn                    |
 //!
@@ -330,36 +331,71 @@ fn dropped_result(files: &[FileItems], g: &CallGraph, out: &mut Vec<Finding>) {
         let toks = &file.tokens;
         let mut j = open + 1;
         while j < close {
-            // `let _ = <expr containing a flagged call> ;`
-            if crate::rules::is_ident(&toks[j], "let")
-                && crate::rules::is_ident_at(toks, j + 1, "_")
-                && toks.get(j + 2).map(|t| &t.kind) == Some(&Tok::Punct('='))
-            {
-                let mut k = j + 3;
-                let mut depth = 0usize;
-                let mut culprit = None;
-                while k < close {
-                    match &toks[k].kind {
-                        Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
-                        Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
-                            depth = depth.saturating_sub(1)
+            // `let [mut] <ident> [: Type] = <expr with a flagged call> ;`
+            // A `_` binding is a discard outright; a named binding is a
+            // drop when the name never occurs again before the body ends
+            // (bound-then-unused — the silent variant `let _ =` hides
+            // behind). Re-occurrence anywhere later is accepted as a use:
+            // that over-approximates uses under shadowing, which can only
+            // suppress findings, never fabricate them.
+            if crate::rules::is_ident(&toks[j], "let") {
+                let mut p = j + 1;
+                if crate::rules::is_ident_at(toks, p, "mut") {
+                    p += 1;
+                }
+                let simple_binding = match toks.get(p).map(|t| &t.kind) {
+                    Some(Tok::Ident(n)) => Some(n.clone()),
+                    _ => None,
+                };
+                // Find the initializer's `=`, skipping an optional type
+                // annotation; `;` or `{` first means this isn't a simple
+                // initialized binding.
+                let eq = simple_binding.as_ref().and_then(|_| {
+                    let mut q = p + 1;
+                    while q < close {
+                        match &toks[q].kind {
+                            Tok::Punct('=') => return Some(q),
+                            Tok::Punct(';') | Tok::Punct('{') => return None,
+                            _ => {}
                         }
-                        Tok::Punct(';') if depth == 0 => break,
-                        Tok::Ident(n)
-                            if flagged.contains(n.as_str())
-                                && toks.get(k + 1).map(|t| &t.kind) == Some(&Tok::Punct('(')) =>
-                        {
-                            culprit.get_or_insert(k);
-                        }
-                        _ => {}
+                        q += 1;
                     }
-                    k += 1;
+                    None
+                });
+                if let (Some(name), Some(eq)) = (simple_binding, eq) {
+                    let mut k = eq + 1;
+                    let mut depth = 0usize;
+                    let mut culprit = None;
+                    while k < close {
+                        match &toks[k].kind {
+                            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                                depth = depth.saturating_sub(1)
+                            }
+                            Tok::Punct(';') if depth == 0 => break,
+                            Tok::Ident(n)
+                                if flagged.contains(n.as_str())
+                                    && toks.get(k + 1).map(|t| &t.kind)
+                                        == Some(&Tok::Punct('(')) =>
+                            {
+                                culprit.get_or_insert(k);
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if let Some(c) = culprit {
+                        let used_later = name != "_"
+                            && toks[k..close]
+                                .iter()
+                                .any(|t| matches!(&t.kind, Tok::Ident(n) if *n == name));
+                        if !used_later {
+                            report_drop(file, toks, j, c, out);
+                        }
+                    }
+                    j = k;
+                    continue;
                 }
-                if let Some(c) = culprit {
-                    report_drop(file, toks, j, c, out);
-                }
-                j = k;
-                continue;
             }
             // Statement-position call: `;|{|}  [recv . | Path ::] name ( … ) ;`
             if let Tok::Ident(n) = &toks[j].kind {
@@ -505,6 +541,33 @@ mod tests {
         let lines: Vec<u32> = fs.iter().map(|f| f.line).collect();
         assert!(fs.iter().all(|f| f.rule == "dropped-result"));
         assert_eq!(lines, vec![2, 3], "{fs:#?}");
+    }
+
+    #[test]
+    fn bound_then_unused_results_are_drops() {
+        let (fs, _) = run(&[(
+            "crates/core/src/a.rs",
+            "fn send() -> Result<(), ()> { Ok(()) }\n\
+             fn a() { let r = send(); }\n\
+             fn b() { let _status = send(); }\n\
+             fn c() { let mut r: Result<(), ()> = send(); r = Ok(()); r.unwrap_or(()); }\n\
+             fn d() -> Result<(), ()> { let r = send(); r }\n\
+             fn e() { let ok = send(); assert!(ok.is_ok()); }\n",
+        )]);
+        assert!(fs.iter().all(|f| f.rule == "dropped-result"));
+        let lines: Vec<u32> = fs.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3], "{fs:#?}");
+    }
+
+    #[test]
+    fn destructuring_and_uninitialized_lets_are_not_flagged() {
+        let (fs, _) = run(&[(
+            "crates/core/src/a.rs",
+            "fn send() -> Result<(), ()> { Ok(()) }\n\
+             fn a() { let (x, y) = (send(), 1); x.unwrap_or(()); let _ = y; }\n\
+             fn b() { let r; r = send(); r.unwrap_or(()); }\n",
+        )]);
+        assert!(fs.is_empty(), "{fs:#?}");
     }
 
     #[test]

@@ -22,10 +22,12 @@ use crate::lexer::{lex, Tok, Token};
 /// Crates on the deterministic-replay path: two same-seed runs must be
 /// byte-identical, so wall clocks, OS entropy, and hash-iteration order
 /// are banned outright.
-pub const REPLAY_CRATES: &[&str] = &["core", "net", "obs", "dht", "sketch", "shard"];
+pub const REPLAY_CRATES: &[&str] = &["core", "net", "obs", "dht", "sketch", "shard", "traj"];
 
 /// Crates whose recorder call sites must use `dhs_obs::names` constants.
-pub const METRIC_NAME_CRATES: &[&str] = &["core", "dht", "net", "obs", "shard"];
+/// `bench` is otherwise exempt (measurement code), but its KPI emitters
+/// feed the trajectory registry, so its metric names are checked too.
+pub const METRIC_NAME_CRATES: &[&str] = &["core", "dht", "net", "obs", "shard", "traj", "bench"];
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -156,7 +158,12 @@ impl NameSet {
 /// forward slashes; it selects the rule set via [`classify`].
 pub fn lint_source(path: &str, source: &str, names: &NameSet) -> Vec<Finding> {
     let class = classify(path);
-    if class.exempt || class.is_test_target {
+    // The bench crate stays exempt from the determinism/cast/panic rules
+    // (measurement code legitimately wants wall clocks and quick casts),
+    // but since PR 7 its library sources emit the `ablation.*` KPI
+    // metrics, so the metric-name rule alone still applies there.
+    let bench_names_only = class.exempt && class.crate_name == "bench" && class.is_library;
+    if (class.exempt && !bench_names_only) || class.is_test_target {
         return Vec::new();
     }
     let lexed = lex(source);
@@ -173,12 +180,14 @@ pub fn lint_source(path: &str, source: &str, names: &NameSet) -> Vec<Finding> {
     };
 
     let on_replay_path = REPLAY_CRATES.contains(&class.crate_name.as_str());
-    if (class.is_library && on_replay_path) || class.is_example {
-        determinism(&mut ctx, &lexed.tokens);
-    }
-    if class.is_library {
-        lossy_cast(&mut ctx, &lexed.tokens);
-        panic_hygiene(&mut ctx, &lexed.tokens);
+    if !bench_names_only {
+        if (class.is_library && on_replay_path) || class.is_example {
+            determinism(&mut ctx, &lexed.tokens);
+        }
+        if class.is_library {
+            lossy_cast(&mut ctx, &lexed.tokens);
+            panic_hygiene(&mut ctx, &lexed.tokens);
+        }
     }
     if class.is_library && METRIC_NAME_CRATES.contains(&class.crate_name.as_str()) {
         metric_names(&mut ctx, &lexed.tokens, names);

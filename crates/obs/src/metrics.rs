@@ -160,6 +160,16 @@ impl MetricsRegistry {
         &self.counters
     }
 
+    /// Value of gauge `name`, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> &BTreeMap<&'static str, u64> {
+        &self.gauges
+    }
+
     /// Histogram `name`, if any value was recorded under it.
     pub fn histogram(&self, name: &str) -> Option<&LogLinearHistogram> {
         self.histograms.get(name)

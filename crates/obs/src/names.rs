@@ -183,6 +183,66 @@ pub const SHARD_PROMOTE_PACKED: &str = "shard.promote.packed";
 pub const SHARD_PROMOTE_DENSE: &str = "shard.promote.dense";
 
 // ---------------------------------------------------------------------
+// Ablation measurements (recorded by the dhs-traj job runners in
+// crates/bench; dhs-traj extracts each plan's KPIs from these).
+// ---------------------------------------------------------------------
+
+/// Messages charged by the N3 baseline (all fast-path layers off).
+pub const ABL_MESSAGES_BASELINE: &str = "ablation.messages.baseline";
+/// Messages charged with every N3 fast-path layer on.
+pub const ABL_MESSAGES_OPTIMIZED: &str = "ablation.messages.optimized";
+/// Routing hops charged by the N3 baseline.
+pub const ABL_HOPS_BASELINE: &str = "ablation.hops.baseline";
+/// Routing hops charged with every N3 fast-path layer on.
+pub const ABL_HOPS_OPTIMIZED: &str = "ablation.hops.optimized";
+/// Insert accesses the N3 workload issued.
+pub const ABL_ACCESSES: &str = "ablation.accesses";
+/// TTL epochs the N3 insert stream spans.
+pub const ABL_EPOCHS: &str = "ablation.epochs";
+/// Mean wire bytes per full count scan (gauge, rounded).
+pub const ABL_COUNT_BYTES_FULL: &str = "ablation.count.bytes.full";
+/// Mean wire bytes per hinted count scan (gauge, rounded).
+pub const ABL_COUNT_BYTES_HINTED: &str = "ablation.count.bytes.hinted";
+/// Mean intervals scanned per full count (gauge, milli-units).
+pub const ABL_INTERVALS_FULL: &str = "ablation.intervals.full";
+/// Mean intervals scanned per hinted count (gauge, milli-units).
+pub const ABL_INTERVALS_HINTED: &str = "ablation.intervals.hinted";
+/// 1 when stored tuples + estimates are byte-identical across layers.
+pub const ABL_EQUIVALENT: &str = "ablation.equivalent";
+
+/// Resident sketches after the N4 unbudgeted phase.
+pub const ABL_SHARD_RESIDENT: &str = "ablation.shard.resident";
+/// Register payload bytes (slot overhead excluded) after N4 phase A.
+pub const ABL_SHARD_PAYLOAD_BYTES: &str = "ablation.shard.payload.bytes";
+/// Register observations the N4 workload applied.
+pub const ABL_SHARD_INSERTS: &str = "ablation.shard.inserts";
+/// Evictions of the N4 budgeted phase.
+pub const ABL_SHARD_EVICTIONS: &str = "ablation.shard.evictions";
+/// Cold-tier recoveries of the N4 budgeted phase.
+pub const ABL_SHARD_RECOVERIES: &str = "ablation.shard.recoveries";
+/// 1 when sharded registers + estimates equal the single-shard store.
+pub const ABL_SHARD_TRANSPARENT: &str = "ablation.shard.transparent";
+/// 1 when budgeted + lossless cold tier estimates equal unbudgeted.
+pub const ABL_SHARD_SPILL_LOSSLESS: &str = "ablation.shard.spill.lossless";
+/// 1 when two same-seed budgeted runs evict identically.
+pub const ABL_SHARD_EVICT_DETERMINISTIC: &str = "ablation.shard.evict.deterministic";
+
+// ---------------------------------------------------------------------
+// Ablation-harness bookkeeping (dhs-traj).
+// ---------------------------------------------------------------------
+
+/// Ablation jobs executed by `run_ablation`.
+pub const TRAJ_JOB: &str = "traj.job";
+/// Ablation jobs whose runner returned an error.
+pub const TRAJ_JOB_FAILED: &str = "traj.job.failed";
+/// KPI values inside their declared min/max bounds.
+pub const TRAJ_KPI_PASS: &str = "traj.kpi.pass";
+/// KPI values outside their declared min/max bounds.
+pub const TRAJ_KPI_FAIL: &str = "traj.kpi.fail";
+/// Registry-gate violations (regression vs baseline or missing KPI).
+pub const TRAJ_GATE_VIOLATION: &str = "traj.gate.violation";
+
+// ---------------------------------------------------------------------
 // Span names (bare verbs; regions of work on the virtual clock).
 // ---------------------------------------------------------------------
 
@@ -266,6 +326,30 @@ pub const ALL: &[&str] = &[
     SHARD_RECOVER,
     SHARD_PROMOTE_PACKED,
     SHARD_PROMOTE_DENSE,
+    ABL_MESSAGES_BASELINE,
+    ABL_MESSAGES_OPTIMIZED,
+    ABL_HOPS_BASELINE,
+    ABL_HOPS_OPTIMIZED,
+    ABL_ACCESSES,
+    ABL_EPOCHS,
+    ABL_COUNT_BYTES_FULL,
+    ABL_COUNT_BYTES_HINTED,
+    ABL_INTERVALS_FULL,
+    ABL_INTERVALS_HINTED,
+    ABL_EQUIVALENT,
+    ABL_SHARD_RESIDENT,
+    ABL_SHARD_PAYLOAD_BYTES,
+    ABL_SHARD_INSERTS,
+    ABL_SHARD_EVICTIONS,
+    ABL_SHARD_RECOVERIES,
+    ABL_SHARD_TRANSPARENT,
+    ABL_SHARD_SPILL_LOSSLESS,
+    ABL_SHARD_EVICT_DETERMINISTIC,
+    TRAJ_JOB,
+    TRAJ_JOB_FAILED,
+    TRAJ_KPI_PASS,
+    TRAJ_KPI_FAIL,
+    TRAJ_GATE_VIOLATION,
     SPAN_INSERT,
     SPAN_BULK_INSERT,
     SPAN_COUNT,

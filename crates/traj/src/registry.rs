@@ -1,0 +1,481 @@
+//! Append-only perf-trajectory registry.
+//!
+//! The registry is a flat CSV file, one row per `(job, KPI)`, committed
+//! to the repository. New reports only ever *append* rows — history is
+//! never rewritten — so `git log` on the file is the performance
+//! trajectory of the project, and the latest row for a
+//! `(plan, params, kpi)` key is the baseline the KPI gate compares
+//! against. Rendering is deterministic end to end: `BTreeMap` ordering,
+//! `{}` float formatting (shortest roundtrip), and provenance stamped
+//! from the plan hash rather than a clock, so two runs of the same
+//! commit append byte-identical rows.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::plan::{params_string, AblationPlan};
+use crate::run::{AblationReport, KpiVerdict};
+
+/// The CSV header line (without trailing newline).
+pub const HEADER: &str =
+    "plan,plan_hash,seed,commit,config_digest,tool,job,params,kpi,value,digest,verdict";
+
+/// Number of comma-separated fields per row.
+const FIELDS: usize = 12;
+
+/// One registry row: a single KPI measurement with full provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Plan name.
+    pub plan: String,
+    /// FNV hash of the canonical plan, 16 hex digits.
+    pub plan_hash: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// VCS commit id the run was built from.
+    pub commit: String,
+    /// FNV digest of plan + seed.
+    pub config_digest: String,
+    /// Producing tool version.
+    pub tool: String,
+    /// Job index within the plan expansion.
+    pub job: usize,
+    /// Canonical `k=v;k=v` parameter string.
+    pub params: String,
+    /// KPI name.
+    pub kpi: String,
+    /// Measured value.
+    pub value: f64,
+    /// FNV digest of the job's metric snapshot, 16 hex digits.
+    pub digest: String,
+    /// `pass`, `out_of_bounds`, or `invalid`.
+    pub verdict: String,
+}
+
+impl Row {
+    fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.plan,
+            self.plan_hash,
+            self.seed,
+            self.commit,
+            self.config_digest,
+            self.tool,
+            self.job,
+            self.params,
+            self.kpi,
+            self.value,
+            self.digest,
+            self.verdict
+        )
+    }
+}
+
+/// A parse failure: line number (1-based) and reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number in the CSV text.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "registry line {}: {}", self.line, self.reason)
+    }
+}
+
+/// The in-memory registry: rows in file order.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    /// All rows, oldest first.
+    pub rows: Vec<Row>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse CSV text (with or without the header line).
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let mut rows = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let lineno = i + 1;
+            if line.is_empty() || line == HEADER {
+                continue;
+            }
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() != FIELDS {
+                return Err(ParseError {
+                    line: lineno,
+                    reason: format!("expected {FIELDS} fields, got {}", f.len()),
+                });
+            }
+            let num = |s: &str, what: &str| -> Result<f64, ParseError> {
+                s.parse::<f64>().map_err(|_| ParseError {
+                    line: lineno,
+                    reason: format!("bad {what} {s:?}"),
+                })
+            };
+            let seed = f[2].parse::<u64>().map_err(|_| ParseError {
+                line: lineno,
+                reason: format!("bad seed {:?}", f[2]),
+            })?;
+            let job = f[6].parse::<usize>().map_err(|_| ParseError {
+                line: lineno,
+                reason: format!("bad job index {:?}", f[6]),
+            })?;
+            rows.push(Row {
+                plan: f[0].to_string(),
+                plan_hash: f[1].to_string(),
+                seed,
+                commit: f[3].to_string(),
+                config_digest: f[4].to_string(),
+                tool: f[5].to_string(),
+                job,
+                params: f[7].to_string(),
+                kpi: f[8].to_string(),
+                value: num(f[9], "value")?,
+                digest: f[10].to_string(),
+                verdict: f[11].to_string(),
+            });
+        }
+        Ok(Registry { rows })
+    }
+
+    /// Render the whole registry (header + every row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.to_csv());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Turn a report into its registry rows, in job order then KPI name
+    /// order. Jobs that never produced a metric registry (runner error)
+    /// yield no rows — there is no measurement to record.
+    pub fn rows_for(report: &AblationReport) -> Vec<Row> {
+        let p = &report.provenance;
+        let mut rows = Vec::new();
+        for (job_idx, job) in report.jobs.iter().enumerate() {
+            if job.error.is_some() {
+                continue;
+            }
+            for (kpi, result) in &job.kpis {
+                let verdict = match &result.verdict {
+                    KpiVerdict::Pass => "pass",
+                    KpiVerdict::OutOfBounds => "out_of_bounds",
+                    KpiVerdict::Invalid(_) => "invalid",
+                };
+                rows.push(Row {
+                    plan: report.plan.clone(),
+                    plan_hash: p.plan_hash.clone(),
+                    seed: p.seed,
+                    commit: p.commit.clone(),
+                    config_digest: p.config_digest.clone(),
+                    tool: p.tool.clone(),
+                    job: job_idx,
+                    params: job
+                        .params
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(";"),
+                    kpi: kpi.clone(),
+                    value: result.value,
+                    digest: format!("{:016x}", job.digest),
+                    verdict: verdict.to_string(),
+                });
+            }
+        }
+        rows
+    }
+
+    /// The CSV fragment a report appends (no header) — write this to the
+    /// end of the committed file.
+    pub fn append_csv(report: &AblationReport) -> String {
+        let mut out = String::new();
+        for row in Self::rows_for(report) {
+            out.push_str(&row.to_csv());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Append a report's rows to the in-memory registry.
+    pub fn append_report(&mut self, report: &AblationReport) {
+        self.rows.extend(Self::rows_for(report));
+    }
+
+    /// Latest row for `(plan, params, kpi)` — the gate baseline.
+    pub fn latest(&self, plan: &str, params: &str, kpi: &str) -> Option<&Row> {
+        self.rows
+            .iter()
+            .rev()
+            .find(|r| r.plan == plan && r.params == params && r.kpi == kpi)
+    }
+
+    /// Compare a fresh report against this registry's baselines using the
+    /// plan's declared tolerances. A `(plan, params, kpi)` key with no
+    /// prior row is new data, not a violation.
+    pub fn gate(&self, plan: &AblationPlan, report: &AblationReport) -> Vec<GateViolation> {
+        let mut violations = Vec::new();
+        for job in &report.jobs {
+            let params = params_string(&job.params);
+            for (kpi, result) in &job.kpis {
+                // Invalid extractions are caught by the run-level verdict;
+                // the gate only judges drift of measured values.
+                if matches!(result.verdict, KpiVerdict::Invalid(_)) {
+                    continue;
+                }
+                let Some(spec) = plan.kpis.get(kpi) else {
+                    continue;
+                };
+                let Some(baseline) = self.latest(&report.plan, &params, kpi) else {
+                    continue;
+                };
+                let ok = spec
+                    .tolerance
+                    .close_to(result.value, baseline.value)
+                    .unwrap_or(false);
+                if !ok {
+                    violations.push(GateViolation {
+                        plan: report.plan.clone(),
+                        params: params.clone(),
+                        kpi: kpi.clone(),
+                        value: result.value,
+                        baseline: baseline.value,
+                        abs: spec.tolerance.abs,
+                        rel: spec.tolerance.rel,
+                    });
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// One KPI that drifted outside its declared tolerance vs the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateViolation {
+    /// Plan name.
+    pub plan: String,
+    /// Job parameter string.
+    pub params: String,
+    /// KPI name.
+    pub kpi: String,
+    /// Fresh value.
+    pub value: f64,
+    /// Registry baseline value.
+    pub baseline: f64,
+    /// Declared absolute slack.
+    pub abs: f64,
+    /// Declared relative slack.
+    pub rel: f64,
+}
+
+impl fmt::Display for GateViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {} vs baseline {} (tol abs {} / rel {})",
+            self.plan, self.params, self.kpi, self.value, self.baseline, self.abs, self.rel
+        )
+    }
+}
+
+/// Render a sorted, aligned trajectory table. Rows are grouped by
+/// `(plan, params, kpi)` and listed oldest-to-newest within a group, so
+/// each group reads as that KPI's trajectory. `plan` / `kpi` filter by
+/// exact plan name and KPI substring.
+pub fn registry_query(reg: &Registry, plan: Option<&str>, kpi: Option<&str>) -> String {
+    // Group while preserving file (= time) order inside each key.
+    let mut groups: BTreeMap<(String, String, String), Vec<&Row>> = BTreeMap::new();
+    for row in &reg.rows {
+        if let Some(p) = plan {
+            if row.plan != p {
+                continue;
+            }
+        }
+        if let Some(k) = kpi {
+            if !row.kpi.contains(k) {
+                continue;
+            }
+        }
+        groups
+            .entry((row.plan.clone(), row.params.clone(), row.kpi.clone()))
+            .or_default()
+            .push(row);
+    }
+    let headers = [
+        "plan", "params", "kpi", "value", "seed", "commit", "verdict",
+    ];
+    let mut cells: Vec<[String; 7]> = Vec::new();
+    for rows in groups.values() {
+        for row in rows {
+            cells.push([
+                row.plan.clone(),
+                row.params.clone(),
+                row.kpi.clone(),
+                format!("{}", row.value),
+                format!("{}", row.seed),
+                row.commit.clone(),
+                row.verdict.clone(),
+            ]);
+        }
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &cells {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let render = |cols: &[&str]| -> String {
+        let mut line = String::new();
+        for (i, (c, w)) in cols.iter().zip(widths.iter()).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:<w$}"));
+        }
+        line.trim_end().to_string()
+    };
+    let mut out = render(&headers) + "\n";
+    for row in &cells {
+        let cols: Vec<&str> = row.iter().map(String::as_str).collect();
+        out.push_str(&render(&cols));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FactorValue, JobParams, KpiSource};
+    use crate::run::{run_ablation, JobRunner};
+    use crate::tolerance::Tolerance;
+    use dhs_obs::{names, MetricsRegistry, NoopRecorder};
+
+    /// Runner whose counter scales with the factor and a bias knob.
+    struct Biased(u64);
+
+    impl JobRunner for Biased {
+        fn run(&mut self, params: &JobParams, _seed: u64) -> Result<MetricsRegistry, String> {
+            let n = params["n"].as_i64().unwrap() as u64;
+            let mut m = MetricsRegistry::new();
+            m.incr(names::ABL_ACCESSES, n * 10 + self.0);
+            Ok(m)
+        }
+    }
+
+    fn plan() -> AblationPlan {
+        AblationPlan::grid("reg")
+            .factor("n", vec![FactorValue::Int(1), FactorValue::Int(2)])
+            .kpi(
+                "accesses",
+                KpiSource::Counter(names::ABL_ACCESSES.to_string()),
+                Tolerance::default().with_abs(0.5).with_rel(0.0),
+            )
+    }
+
+    fn report(bias: u64) -> AblationReport {
+        run_ablation(
+            &plan(),
+            42,
+            &mut Biased(bias),
+            "abc",
+            "t-0",
+            &mut NoopRecorder,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_roundtrips_and_appends() {
+        let mut reg = Registry::new();
+        reg.append_report(&report(0));
+        let csv = reg.to_csv();
+        assert!(csv.starts_with(HEADER));
+        let parsed = Registry::parse(&csv).unwrap();
+        assert_eq!(parsed.rows, reg.rows);
+        // Append fragment has no header and stacks onto the file.
+        let more = Registry::append_csv(&report(0));
+        assert!(!more.contains("plan_hash,"));
+        let combined = Registry::parse(&format!("{csv}{more}")).unwrap();
+        assert_eq!(combined.rows.len(), 4);
+        assert_eq!(
+            combined.latest("reg", "n=2", "accesses").unwrap().value,
+            20.0
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_rows() {
+        let err = Registry::parse("a,b,c\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("expected 12 fields"));
+        let bad_seed = format!("{HEADER}\np,h,notanumber,c,d,t,0,n=1,k,1,dg,pass\n");
+        assert!(Registry::parse(&bad_seed)
+            .unwrap_err()
+            .reason
+            .contains("seed"));
+    }
+
+    #[test]
+    fn gate_passes_in_tolerance_and_flags_drift() {
+        let mut reg = Registry::new();
+        reg.append_report(&report(0));
+        // Same values: clean.
+        assert!(reg.gate(&plan(), &report(0)).is_empty());
+        // +2 on every job: outside abs 0.5.
+        let violations = reg.gate(&plan(), &report(2));
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations[0].kpi, "accesses");
+        assert_eq!(violations[0].baseline, 10.0);
+        assert_eq!(violations[0].value, 12.0);
+        assert!(violations[0].to_string().contains("vs baseline 10"));
+        // Unknown keys are not violations.
+        assert!(Registry::new().gate(&plan(), &report(2)).is_empty());
+    }
+
+    #[test]
+    fn gate_uses_latest_row_as_baseline() {
+        let mut reg = Registry::new();
+        reg.append_report(&report(0));
+        reg.append_report(&report(2));
+        // Against latest (bias 2) a bias-2 report is clean even though the
+        // oldest row would reject it.
+        assert!(reg.gate(&plan(), &report(2)).is_empty());
+        assert_eq!(reg.gate(&plan(), &report(0)).len(), 2);
+    }
+
+    #[test]
+    fn query_renders_sorted_aligned_trajectories() {
+        let mut reg = Registry::new();
+        reg.append_report(&report(0));
+        reg.append_report(&report(2));
+        let table = registry_query(&reg, Some("reg"), None);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("plan"));
+        // Group (n=1) lists its trajectory oldest first, then group (n=2).
+        assert!(lines[1].contains("n=1") && lines[1].contains("10"));
+        assert!(lines[2].contains("n=1") && lines[2].contains("12"));
+        assert!(lines[3].contains("n=2") && lines[3].contains("20"));
+        // Columns align: every line has "  "-separated fields at the same
+        // offsets, so the header's kpi column offset matches data rows.
+        let kpi_off = lines[0].find("kpi").unwrap();
+        assert_eq!(&lines[1][kpi_off..kpi_off + 8], "accesses");
+        // Filters.
+        assert_eq!(registry_query(&reg, Some("nope"), None).lines().count(), 1);
+        assert_eq!(registry_query(&reg, None, Some("acc")).lines().count(), 5);
+    }
+}

@@ -1,0 +1,173 @@
+//! KPI tolerances: in-plan bounds and baseline-comparison slack.
+//!
+//! A [`Tolerance`] plays two roles. At run time, `min`/`max` bound the
+//! KPI value itself (the plan's sanity envelope — "message reduction must
+//! stay above 90%"). At gate time, `abs`/`rel` bound the drift against
+//! the registry baseline ("this PR may not move the KPI by more than
+//! 0.1% relative or 1e-9 absolute"). NaN and infinite values are
+//! rejected outright: a KPI that is not a finite number is a bug in the
+//! runner, never a pass.
+
+use std::fmt;
+
+/// Default absolute comparison slack.
+pub const DEFAULT_ABS: f64 = 1e-9;
+
+/// Default relative comparison slack.
+pub const DEFAULT_REL: f64 = 1e-3;
+
+/// A non-finite value was offered to a tolerance check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFinite(pub f64);
+
+impl fmt::Display for NonFinite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "non-finite KPI value {}", self.0)
+    }
+}
+
+/// Per-KPI thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Smallest acceptable value (bound on the value itself).
+    pub min: Option<f64>,
+    /// Largest acceptable value (bound on the value itself).
+    pub max: Option<f64>,
+    /// Absolute slack for baseline comparisons.
+    pub abs: f64,
+    /// Relative slack for baseline comparisons.
+    pub rel: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            min: None,
+            max: None,
+            abs: DEFAULT_ABS,
+            rel: DEFAULT_REL,
+        }
+    }
+}
+
+impl Tolerance {
+    /// Set the lower bound.
+    pub fn with_min(mut self, min: f64) -> Self {
+        self.min = Some(min);
+        self
+    }
+
+    /// Set the upper bound.
+    pub fn with_max(mut self, max: f64) -> Self {
+        self.max = Some(max);
+        self
+    }
+
+    /// Set the absolute comparison slack.
+    pub fn with_abs(mut self, abs: f64) -> Self {
+        self.abs = abs;
+        self
+    }
+
+    /// Set the relative comparison slack.
+    pub fn with_rel(mut self, rel: f64) -> Self {
+        self.rel = rel;
+        self
+    }
+
+    /// Canonical form for plan hashing.
+    pub fn canonical(&self) -> String {
+        let b = |o: Option<f64>| match o {
+            Some(v) => format!("{v}"),
+            None => "-".to_string(),
+        };
+        format!(
+            "min={},max={},abs={},rel={}",
+            b(self.min),
+            b(self.max),
+            self.abs,
+            self.rel
+        )
+    }
+
+    /// Is `value` inside the declared `[min, max]` envelope? NaN and
+    /// infinities are errors, never passes.
+    pub fn bounds_ok(&self, value: f64) -> Result<bool, NonFinite> {
+        if !value.is_finite() {
+            return Err(NonFinite(value));
+        }
+        if let Some(min) = self.min {
+            if value < min {
+                return Ok(false);
+            }
+        }
+        if let Some(max) = self.max {
+            if value > max {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Is `value` within `abs` absolute **or** `rel` relative slack of
+    /// `baseline`? Either slack suffices (the usual approx-eq contract),
+    /// so `abs` keeps near-zero baselines comparable and `rel` scales
+    /// with large ones.
+    pub fn close_to(&self, value: f64, baseline: f64) -> Result<bool, NonFinite> {
+        if !value.is_finite() {
+            return Err(NonFinite(value));
+        }
+        if !baseline.is_finite() {
+            return Err(NonFinite(baseline));
+        }
+        let diff = (value - baseline).abs();
+        Ok(diff <= self.abs || diff <= self.rel * baseline.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_envelope() {
+        let t = Tolerance::default().with_min(1.0).with_max(2.0);
+        assert_eq!(t.bounds_ok(1.0), Ok(true));
+        assert_eq!(t.bounds_ok(2.0), Ok(true));
+        assert_eq!(t.bounds_ok(0.999), Ok(false));
+        assert_eq!(t.bounds_ok(2.001), Ok(false));
+        assert_eq!(Tolerance::default().bounds_ok(1e300), Ok(true));
+    }
+
+    #[test]
+    fn abs_vs_rel_slack_are_independent() {
+        // Pure absolute: rel 0 — a fixed window regardless of scale.
+        let abs_only = Tolerance::default().with_abs(0.5).with_rel(0.0);
+        assert_eq!(abs_only.close_to(100.4, 100.0), Ok(true));
+        assert_eq!(abs_only.close_to(100.6, 100.0), Ok(false));
+        assert_eq!(abs_only.close_to(0.4, 0.0), Ok(true));
+        // Pure relative: abs 0 — scales with the baseline, so a zero
+        // baseline admits only an exact match.
+        let rel_only = Tolerance::default().with_abs(0.0).with_rel(0.01);
+        assert_eq!(rel_only.close_to(100.9, 100.0), Ok(true));
+        assert_eq!(rel_only.close_to(101.1, 100.0), Ok(false));
+        assert_eq!(rel_only.close_to(0.0, 0.0), Ok(true));
+        assert_eq!(rel_only.close_to(1e-12, 0.0), Ok(false));
+    }
+
+    #[test]
+    fn exact_gate_when_both_slacks_zero() {
+        let exact = Tolerance::default().with_abs(0.0).with_rel(0.0);
+        assert_eq!(exact.close_to(42.0, 42.0), Ok(true));
+        assert_eq!(exact.close_to(42.0 + 1e-12, 42.0), Ok(false));
+    }
+
+    #[test]
+    fn non_finite_rejected_everywhere() {
+        let t = Tolerance::default();
+        assert!(t.bounds_ok(f64::NAN).is_err());
+        assert!(t.bounds_ok(f64::INFINITY).is_err());
+        assert!(t.close_to(f64::NAN, 1.0).is_err());
+        assert!(t.close_to(1.0, f64::NEG_INFINITY).is_err());
+    }
+}

@@ -2,13 +2,21 @@
 # Reproduce the headline benchmark numbers: builds the workspace in
 # release mode, runs the `repro bench` subcommand (baseline vs dhs-fast,
 # written to BENCH_dhs.json) and the `repro bench-shard` subcommand (the
-# 10⁶-metric sharded-store run, written to BENCH_shard.json).
+# 10⁶-metric sharded-store run, written to BENCH_shard.json), then runs
+# the full N3/N4 ablation plans, gates their KPIs against the committed
+# trajectory registry, and appends the new rows to it.
 #
 # Extra flags are forwarded to repro (e.g. `scripts/bench.sh --quick`,
 # `scripts/bench.sh --nodes 256 --seed 7`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Stamp artifacts with the commit under measurement (provenance blocks
+# and registry rows record it; "unknown" outside a git checkout).
+DHS_COMMIT="${DHS_COMMIT:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
+export DHS_COMMIT
+
 cargo build --release --workspace
 cargo run --release -p dhs-bench --bin repro -- bench "$@"
 cargo run --release -p dhs-bench --bin repro -- bench-shard "$@"
+cargo run --release -p dhs-bench --bin repro -- ablate n3-fastpath n4-shard --gate --append "$@"

@@ -67,4 +67,16 @@ grep -q '"lossless_spill_preserves_estimates": true' "$shard_a"
 grep -q '"two_runs_identical": true' "$shard_a"
 echo "shard scenario (DHS_SHARD_METRICS=$DHS_SHARD_METRICS): equivalent, two runs digest-identical"
 
+# Ablation-harness gate: the smoke plans (CI-scale N3/N4 sweeps) must
+# (a) pass every declared KPI envelope, (b) print byte-identical report
+# JSON across two runs, and (c) show no KPI drift against the committed
+# trajectory registry — a perturbed baseline makes this a hard failure.
+abl_a=$(mktemp)
+abl_b=$(mktemp)
+trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$run_a" "$run_b" "$shard_a" "$shard_b" "$abl_a" "$abl_b"' EXIT
+cargo run --release --quiet -p dhs-bench --bin repro -- ablate smoke --gate > "$abl_a"
+cargo run --release --quiet -p dhs-bench --bin repro -- ablate smoke --gate > "$abl_b"
+cmp "$abl_a" "$abl_b"
+echo "ablation smoke plans: KPIs in envelope, no drift vs registry/traj.csv, two runs byte-identical"
+
 echo "all checks passed"

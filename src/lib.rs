@@ -31,6 +31,9 @@
 //!   cold-tier spill.
 //! * [`workload`] — Zipf-distributed relations and multiset generators
 //!   matching the paper's evaluation setup.
+//! * [`traj`] — deterministic ablation harness (grid/LHS factor sweeps
+//!   with declared KPI tolerances) and the append-only perf-trajectory
+//!   registry that gates KPI regressions against committed baselines.
 
 pub use dhs_baselines as baselines;
 pub use dhs_core as dhs;
@@ -40,4 +43,5 @@ pub use dhs_net as net;
 pub use dhs_obs as obs;
 pub use dhs_shard as shard;
 pub use dhs_sketch as sketch;
+pub use dhs_traj as traj;
 pub use dhs_workload as workload;
