@@ -7,7 +7,7 @@
 //!
 //! Experiments: insertion, table2, scalability, accuracy, table3,
 //! hist-accuracy, queryopt, ablation-lim, ablation-failures,
-//! ablation-bitshift, ablation-ttl, baselines, all.
+//! ablation-bitshift, ablation-ttl, baselines, saturation, all.
 //!
 //! Ablation-harness subcommands (see DESIGN.md §dhs-traj):
 //!
@@ -49,6 +49,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("loadbalance", experiments::load_balance),
     ("fastpath", experiments::fastpath),
     ("shard", experiments::shard),
+    ("saturation", experiments::saturation),
     ("trajectory", experiments::trajectory),
 ];
 
@@ -58,12 +59,13 @@ const DEFAULT_REGISTRY: &str = "registry/traj.csv";
 fn usage() -> String {
     let names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
     format!(
-        "usage: repro <experiment|all|bench|bench-shard> [--scale F] [--nodes N] \
+        "usage: repro <experiment|all|bench|bench-shard|bench-sat> [--scale F] [--nodes N] \
          [--seed S] [--trials T] [--m M] [--k K] [--quick] [--out FILE]\n\
          \x20      repro ablate <plan>... [--gate] [--append] [--registry FILE]\n\
          \x20      repro traj [--plan NAME] [--kpi SUBSTR] [--registry FILE]\n\
          bench: emit BENCH_dhs.json (baseline vs dhs-fast headline numbers)\n\
-         bench-shard: emit BENCH_shard.json (sharded-store memory/throughput); \
+         bench-shard: emit BENCH_shard.json (sharded-store memory/throughput)\n\
+         bench-sat: emit BENCH_sat.json (threaded-driver saturation sweep); \
          --out overrides the output path\n\
          ablate: run ablation plans, print the deterministic report JSON; \
          --gate fails on KPI drift vs the registry baseline, --append records \
@@ -163,11 +165,11 @@ fn main() -> ExitCode {
         );
     }
 
-    if which == "bench" || which == "bench-shard" {
-        let (json, default_path) = if which == "bench" {
-            (experiments::fastpath_bench_json(&exp), "BENCH_dhs.json")
-        } else {
-            (experiments::shard_bench_json(&exp), "BENCH_shard.json")
+    if which == "bench" || which == "bench-shard" || which == "bench-sat" {
+        let (json, default_path) = match which.as_str() {
+            "bench" => (experiments::fastpath_bench_json(&exp), "BENCH_dhs.json"),
+            "bench-shard" => (experiments::shard_bench_json(&exp), "BENCH_shard.json"),
+            _ => (experiments::saturation_bench_json(&exp), "BENCH_sat.json"),
         };
         let path = out.as_deref().unwrap_or(default_path);
         print!("{json}");

@@ -10,6 +10,7 @@ mod insertion_costs;
 mod load_balance;
 mod network;
 mod queryopt;
+mod saturation;
 mod scalability_exp;
 mod shard_exp;
 mod table2_exp;
@@ -28,10 +29,11 @@ pub use insertion_costs::insertion;
 pub use load_balance::load_balance;
 pub use network::network;
 pub use queryopt::queryopt;
+pub use saturation::{saturation, saturation_bench_json};
 pub use scalability_exp::scalability;
 pub use shard_exp::{shard, shard_bench_json};
 pub use table2_exp::table2;
 pub use trajectory::{
-    ablation_plans, n3_fastpath_plan, n4_shard_plan, smoke_fastpath_plan, smoke_shard_plan,
-    trajectory, BenchRunner, RunnerKind, PLAN_NAMES,
+    ablation_plans, n3_fastpath_plan, n4_shard_plan, n6_saturation_plan, smoke_fastpath_plan,
+    smoke_saturation_plan, smoke_shard_plan, trajectory, BenchRunner, RunnerKind, PLAN_NAMES,
 };

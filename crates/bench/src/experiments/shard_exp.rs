@@ -39,8 +39,9 @@ const SHARDS: usize = 8;
 const M: usize = 64;
 
 /// The workload shape for `metrics` total metrics (clamped to ≥ 64).
-/// Metrics land on tenants 1 000 at a time.
-fn shard_workload_sized(metrics: u64) -> TenantWorkload {
+/// Metrics land on tenants 1 000 at a time. (Shared with N6, which
+/// saturates the same workload through the threaded driver.)
+pub(crate) fn shard_workload_sized(metrics: u64) -> TenantWorkload {
     let goal = metrics.max(64);
     let (tenants, metrics_per_tenant) = if goal >= 1_000 {
         ((goal / 1_000).min(1 << 16) as u32, 1_000u32)

@@ -30,6 +30,8 @@ pub enum RunnerKind {
     Fastpath,
     /// N4 — the sharded multi-tenant store (`shard_kpi_metrics`).
     Shard,
+    /// N6 — the threaded saturation driver (`saturation_kpi_metrics`).
+    Saturation,
 }
 
 /// [`JobRunner`] adapter: overlays a job's parameters onto a base
@@ -80,6 +82,19 @@ impl JobRunner for BenchRunner {
                     .and_then(|v| v.as_i64())
                     .map(|v| v.max(64) as u64);
                 Ok(super::shard_exp::shard_kpi_metrics(&exp, metrics))
+            }
+            RunnerKind::Saturation => {
+                let metrics = params
+                    .get("metrics")
+                    .and_then(|v| v.as_i64())
+                    .map(|v| v.max(64) as u64);
+                let threads = params
+                    .get("threads")
+                    .and_then(|v| v.as_i64())
+                    .map_or(1, |v| v.clamp(1, 64) as usize);
+                Ok(super::saturation::saturation_kpi_metrics(
+                    &exp, threads, metrics,
+                ))
             }
         }
     }
@@ -213,6 +228,52 @@ fn with_shard_kpis(plan: AblationPlan) -> AblationPlan {
     )
 }
 
+/// Attach the N6 KPI set to `plan`. `min_efficiency` is the acceptance
+/// floor on per-thread efficiency (the sweep's worst thread count must
+/// clear it; W = 1 is exactly 100).
+fn with_saturation_kpis(plan: AblationPlan, min_efficiency: f64) -> AblationPlan {
+    use dhs_obs::names as n;
+    plan.kpi(
+        "inserts",
+        KpiSource::Counter(n::ABL_SAT_INSERTS.to_string()),
+        tight().with_min(1.0),
+    )
+    .kpi(
+        "threads",
+        KpiSource::Gauge(n::ABL_SAT_THREADS.to_string()),
+        tight().with_min(1.0).with_max(64.0),
+    )
+    .kpi(
+        "virtual_speedup",
+        KpiSource::ScaledGauge {
+            name: n::ABL_SAT_SPEEDUP.to_string(),
+            scale: 1000.0,
+        },
+        tight().with_min(1.0).with_max(64.0),
+    )
+    .kpi(
+        "efficiency_pct",
+        KpiSource::ScaledGauge {
+            name: n::ABL_SAT_EFFICIENCY_PCT.to_string(),
+            scale: 1000.0,
+        },
+        tight().with_min(min_efficiency).with_max(100.5),
+    )
+    .kpi(
+        "merge_overhead_pct",
+        KpiSource::ScaledGauge {
+            name: n::ABL_SAT_MERGE_OVERHEAD_PCT.to_string(),
+            scale: 1000.0,
+        },
+        tight().with_max(50.0),
+    )
+    .kpi(
+        "digest_invariant",
+        KpiSource::Gauge(n::ABL_SAT_DIGEST_INVARIANT.to_string()),
+        flag(),
+    )
+}
+
 /// The full N3 plan: bitmap-count sweep at the BENCH configuration. The
 /// m = 512 job is the committed `BENCH_dhs.json` measurement.
 pub fn n3_fastpath_plan() -> AblationPlan {
@@ -234,6 +295,27 @@ pub fn n4_shard_plan() -> AblationPlan {
         "metrics",
         vec![FactorValue::Int(100_000), FactorValue::Int(1_000_000)],
     ))
+}
+
+/// The full N6 plan: thread-count sweep over the N4 million-metric
+/// workload. The threads = 4 job pairs with the committed
+/// `BENCH_sat.json` measurement (the JSON adds the wall-clock view the
+/// registry deliberately omits).
+pub fn n6_saturation_plan() -> AblationPlan {
+    with_saturation_kpis(
+        AblationPlan::grid("n6-saturation")
+            .factor(
+                "threads",
+                vec![
+                    FactorValue::Int(1),
+                    FactorValue::Int(2),
+                    FactorValue::Int(4),
+                    FactorValue::Int(8),
+                ],
+            )
+            .fix("metrics", FactorValue::Int(1_000_000)),
+        70.0,
+    )
 }
 
 /// CI-scale N3 plan (sub-second jobs) for check.sh's two-run and gate
@@ -258,12 +340,25 @@ pub fn smoke_shard_plan() -> AblationPlan {
     ))
 }
 
+/// CI-scale N6 plan. The efficiency floor is looser than the full
+/// plan's: at 2 000 metrics the fixed merge ticks weigh more.
+pub fn smoke_saturation_plan() -> AblationPlan {
+    with_saturation_kpis(
+        AblationPlan::grid("smoke-saturation")
+            .factor("threads", vec![FactorValue::Int(1), FactorValue::Int(2)])
+            .fix("metrics", FactorValue::Int(2_000)),
+        50.0,
+    )
+}
+
 /// Plan names `repro ablate` accepts (`smoke` bundles both smoke plans).
 pub const PLAN_NAMES: &[&str] = &[
     "n3-fastpath",
     "n4-shard",
+    "n6-saturation",
     "smoke-fastpath",
     "smoke-shard",
+    "smoke-saturation",
     "smoke",
 ];
 
@@ -272,8 +367,10 @@ pub fn ablation_plans(which: &str) -> Option<Vec<(AblationPlan, RunnerKind)>> {
     match which {
         "n3-fastpath" => Some(vec![(n3_fastpath_plan(), RunnerKind::Fastpath)]),
         "n4-shard" => Some(vec![(n4_shard_plan(), RunnerKind::Shard)]),
+        "n6-saturation" => Some(vec![(n6_saturation_plan(), RunnerKind::Saturation)]),
         "smoke-fastpath" => Some(vec![(smoke_fastpath_plan(), RunnerKind::Fastpath)]),
         "smoke-shard" => Some(vec![(smoke_shard_plan(), RunnerKind::Shard)]),
+        "smoke-saturation" => Some(vec![(smoke_saturation_plan(), RunnerKind::Saturation)]),
         "smoke" => Some(vec![
             (smoke_fastpath_plan(), RunnerKind::Fastpath),
             (smoke_shard_plan(), RunnerKind::Shard),

@@ -25,160 +25,14 @@ use rand::Rng;
 use dhs_dht::cost::CostLedger;
 use dhs_dht::overlay::Overlay;
 use dhs_obs::names;
-use dhs_sketch::{
-    hyperloglog_estimate_from_registers, pcsa_estimate_from_first_zeros,
-    superloglog_estimate_from_registers,
-};
 
-use crate::cast::checked_cast;
 use crate::config::EstimatorKind;
 use crate::fast::ScanHint;
 use crate::insert::Dhs;
-use crate::intervals::{interval_for_rank, IdInterval};
-use crate::stats::{CountResult, CountStats};
-use crate::transport::{end_span, start_span, with_retry, DirectTransport, MessageKind, Transport};
-use crate::tuple::{DhsTuple, MetricId};
-
-/// The Alg. 1 walk order inside one interval: successors while they stay
-/// in the interval, then predecessors of the original target.
-struct IntervalWalk<'r, O: Overlay> {
-    ring: &'r O,
-    interval: IdInterval,
-    first: u64,
-    cur: u64,
-    going_succ: bool,
-}
-
-impl<'r, O: Overlay> IntervalWalk<'r, O> {
-    fn new(ring: &'r O, interval: IdInterval, first: u64) -> Self {
-        IntervalWalk {
-            ring,
-            interval,
-            first,
-            cur: first,
-            going_succ: true,
-        }
-    }
-
-    /// The next node to probe (one hop away from the current one).
-    ///
-    /// Successor direction first (Alg. 1 line 13, `id < thr(r−1)`): we
-    /// keep stepping while the *current* node is still inside the
-    /// interval, which deliberately probes one node **past** the
-    /// interval's top boundary — in Chord that successor owns the
-    /// interval's topmost keys, so tuples stored under them live there.
-    /// (In sparse intervals, which decide the estimate, that boundary
-    /// owner holds everything.) Then predecessors of the original target.
-    fn next_target(&mut self) -> u64 {
-        if self.going_succ {
-            if self.interval.contains(self.cur) {
-                let next = self.ring.next_node(self.cur);
-                if next != self.first {
-                    self.cur = next;
-                    return next;
-                }
-            }
-            // Walked out of the interval (or wrapped): restart from the
-            // original target, walking predecessors.
-            self.going_succ = false;
-            self.cur = self.first;
-        }
-        self.cur = self.ring.prev_node(self.cur);
-        self.cur
-    }
-}
-
-/// Per-interval probe bookkeeping shared by both scan directions.
-struct Prober<'a, O: Overlay, T: Transport, R: Rng> {
-    dhs: &'a Dhs,
-    ring: &'a O,
-    transport: &'a mut T,
-    origin: u64,
-    metrics: &'a [MetricId],
-    rng: &'a mut R,
-}
-
-impl<'a, O: Overlay, T: Transport, R: Rng> Prober<'a, O, T, R> {
-    /// Look up a random key in `rank`'s interval and return the walk plus
-    /// the initial target, charging lookup costs.
-    ///
-    /// `None` when the lookup times out through every retry: the
-    /// interval cannot be probed this scan (the caller skips it, leaving
-    /// its vectors to be concluded elsewhere).
-    fn open_interval(
-        &mut self,
-        rank: u32,
-        ledger: &mut CostLedger,
-        stats: &mut CountStats,
-    ) -> Option<(IntervalWalk<'a, O>, u64)> {
-        let interval = interval_for_rank(self.dhs.config(), rank);
-        let key = self.rng.gen_range(interval.lo..=interval.hi);
-        let target = self.ring.owner_of(key);
-        stats.lookups += 1;
-        stats.intervals_scanned += 1;
-        let request = u64::from(self.dhs.config().request_bytes);
-        let (ring, origin) = (self.ring, self.origin);
-        let sent = with_retry(self.transport, |t| {
-            let hops_before = ledger.hops();
-            match t.recorder() {
-                Some(obs) => ring.route_observed(origin, key, ledger, obs),
-                None => ring.route(origin, key, ledger),
-            };
-            let lookup_hops = ledger.hops() - hops_before;
-            t.routed_exchange(
-                origin,
-                target,
-                lookup_hops,
-                MessageKind::Lookup,
-                request,
-                0,
-                ledger,
-            )
-        });
-        sent.ok()?;
-        Some((IntervalWalk::new(self.ring, interval, target), target))
-    }
-
-    /// Probe `target` for bit `rank`, invoking `on_hit(metric_idx,
-    /// vector)` for every requested tuple present. Charges probe costs.
-    ///
-    /// A probe whose every send attempt times out reports no hits — the
-    /// `lim` attempt is consumed and the walk moves on, exactly the
-    /// missed-probe error mode the paper's §4.1 analysis bounds.
-    fn probe(
-        &mut self,
-        target: u64,
-        rank: u32,
-        kind: MessageKind,
-        ledger: &mut CostLedger,
-        stats: &mut CountStats,
-        mut on_hit: impl FnMut(usize, usize),
-    ) {
-        stats.probes += 1;
-        let request = u64::from(self.dhs.config().request_bytes);
-        let response = self.dhs.config().response_bytes(self.metrics.len());
-        let origin = self.origin;
-        let sent = with_retry(self.transport, |t| {
-            t.exchange(origin, target, kind, request, response, ledger)
-        });
-        if sent.is_err() {
-            return;
-        }
-        ledger.record_visit(target);
-        for (mi, &metric) in self.metrics.iter().enumerate() {
-            for vector in 0..self.dhs.config().m {
-                let tuple = DhsTuple {
-                    metric,
-                    vector: checked_cast(vector),
-                    bit: checked_cast(rank),
-                };
-                if self.ring.fetch_at(target, tuple.app_key()).is_some() {
-                    on_hit(mi, vector);
-                }
-            }
-        }
-    }
-}
+use crate::machine::{drive_scan_in_order, ScanMachine};
+use crate::stats::CountResult;
+use crate::transport::{end_span, start_span, DirectTransport, Transport};
+use crate::tuple::MetricId;
 
 impl Dhs {
     /// Estimate the cardinality of a single metric from node `origin`.
@@ -216,7 +70,7 @@ impl Dhs {
 
     /// Estimate several metrics in one scan (multi-dimensional counting,
     /// §4.2). The scan's cost is shared: every returned result carries the
-    /// same operation-total [`CountStats`].
+    /// same operation-total [`CountStats`](crate::CountStats).
     pub fn count_multi<O: Overlay>(
         &self,
         ring: &O,
@@ -384,7 +238,9 @@ impl Dhs {
 
     /// DHS-sLL / DHS-HLL: scan bit positions from most to least
     /// significant; the first interval where a vector's bit is found is
-    /// its max rank.
+    /// its max rank. The scan itself is a [`ScanMachine`] driven in
+    /// strict submission order — the degenerate in-order case of the
+    /// completion-based protocol.
     #[allow(clippy::too_many_arguments)]
     fn count_max_rank<O: Overlay, T: Transport>(
         &self,
@@ -396,112 +252,15 @@ impl Dhs {
         ledger: &mut CostLedger,
         hint: Option<u32>,
     ) -> Vec<CountResult> {
-        let cfg = *self.config();
-        let m = cfg.m;
-        let mut regs: Vec<Vec<Option<u8>>> = vec![vec![None; m]; metrics.len()];
-        let mut unresolved = metrics.len() * m;
-        let mut stats = CountStats::default();
-        let bytes_before = ledger.bytes();
-        let hops_before = ledger.hops();
-
-        let mut prober = Prober {
-            dhs: self,
-            ring,
-            transport,
-            origin,
-            metrics,
-            rng,
-        };
-        for rank in (cfg.bit_shift..cfg.scan_bits()).rev() {
-            if unresolved == 0 {
-                break;
-            }
-            let above_hint = hint.is_some_and(|h| rank > h);
-            if above_hint && rank >= cfg.rank_bits() {
-                // Structurally empty: `classify` saturates ranks at
-                // rank_bits − 1, so no insertion can ever populate this
-                // interval. Draw (and discard) the interval key the full
-                // scan would have drawn, keeping the RNG stream — and
-                // therefore every later probe — byte-identical.
-                let interval = interval_for_rank(&cfg, rank);
-                let _ = prober.rng.gen_range(interval.lo..=interval.hi);
-                stats.intervals_skipped += 1;
-                continue;
-            }
-            // Above the hint a single-owner interval is concluded by its
-            // one owner: every tuple of the interval lives there (the
-            // owner's range covers the whole interval), so walk retries
-            // cannot change the outcome.
-            let attempts = if above_hint {
-                let interval = interval_for_rank(&cfg, rank);
-                if ring.owner_of(interval.lo) == ring.owner_of(interval.hi) {
-                    1
-                } else {
-                    cfg.lim
-                }
-            } else {
-                cfg.lim
-            };
-            let interval_span = start_span(prober.transport, names::SPAN_INTERVAL, u64::from(rank));
-            let Some((mut walk, mut target)) = prober.open_interval(rank, ledger, &mut stats)
-            else {
-                end_span(prober.transport, interval_span);
-                continue; // lookup unreachable: skip this interval
-            };
-            for attempt in 0..attempts {
-                let kind = if attempt > 0 {
-                    target = walk.next_target();
-                    ledger.charge_hops(1);
-                    MessageKind::SuccessorScan
-                } else {
-                    MessageKind::Probe
-                };
-                let scan_span = if attempt > 0 {
-                    start_span(prober.transport, names::SPAN_SUCC_SCAN, u64::from(attempt))
-                } else {
-                    None
-                };
-                prober.probe(target, rank, kind, ledger, &mut stats, |mi, vector| {
-                    if regs[mi][vector].is_none() {
-                        regs[mi][vector] = Some(checked_cast::<u8, _>(rank) + 1);
-                        unresolved -= 1;
-                    }
-                });
-                end_span(prober.transport, scan_span);
-                if unresolved == 0 {
-                    break;
-                }
-            }
-            end_span(prober.transport, interval_span);
-        }
-
-        stats.bytes = ledger.bytes() - bytes_before;
-        stats.hops = ledger.hops() - hops_before;
-        // Vectors never seen: empty (register 0), or — with the bit-shift
-        // optimization — "max rank at least bit_shift − 1" (register b).
-        let floor: u8 = checked_cast(cfg.bit_shift);
-        metrics
-            .iter()
-            .zip(regs)
-            .map(|(&metric, vec_regs)| {
-                let registers: Vec<u8> = vec_regs.into_iter().map(|r| r.unwrap_or(floor)).collect();
-                let estimate = match cfg.estimator {
-                    EstimatorKind::HyperLogLog => hyperloglog_estimate_from_registers(&registers),
-                    _ => superloglog_estimate_from_registers(&registers),
-                };
-                CountResult {
-                    metric,
-                    estimate,
-                    registers: registers.into_iter().map(u32::from).collect(),
-                    stats,
-                }
-            })
-            .collect()
+        let mut machine = ScanMachine::max_rank(self, metrics, origin, hint, ledger);
+        drive_scan_in_order(&mut machine, ring, transport, rng, ledger);
+        machine.finish(ledger)
     }
 
     /// DHS-PCSA: scan bit positions from least to most significant; the
     /// first interval where a vector's bit cannot be found (after `lim`
-    /// probes) concludes its lowest-zero position.
+    /// probes) concludes its lowest-zero position. Also a [`ScanMachine`]
+    /// driven in order.
     fn count_pcsa<O: Overlay, T: Transport>(
         &self,
         ring: &O,
@@ -511,98 +270,9 @@ impl Dhs {
         rng: &mut impl Rng,
         ledger: &mut CostLedger,
     ) -> Vec<CountResult> {
-        let cfg = *self.config();
-        let m = cfg.m;
-        let mut first_zero: Vec<Vec<Option<u32>>> = vec![vec![None; m]; metrics.len()];
-        let mut unresolved = metrics.len() * m;
-        let mut stats = CountStats::default();
-        let bytes_before = ledger.bytes();
-        let hops_before = ledger.hops();
-
-        let mut prober = Prober {
-            dhs: self,
-            ring,
-            transport,
-            origin,
-            metrics,
-            rng,
-        };
-        // Scratch: which still-unresolved vectors have been confirmed set
-        // at the current rank (nothing more to learn about them here).
-        let mut confirmed: Vec<Vec<bool>> = vec![vec![false; m]; metrics.len()];
-        for rank in cfg.bit_shift..cfg.scan_bits() {
-            if unresolved == 0 {
-                break;
-            }
-            for row in &mut confirmed {
-                row.iter_mut().for_each(|c| *c = false);
-            }
-            // Unresolved vectors not yet confirmed set at this rank.
-            let mut in_question = unresolved;
-            let interval_span = start_span(prober.transport, names::SPAN_INTERVAL, u64::from(rank));
-            let Some((mut walk, mut target)) = prober.open_interval(rank, ledger, &mut stats)
-            else {
-                end_span(prober.transport, interval_span);
-                continue; // lookup unreachable: no probe evidence, so no
-                          // first-zero conclusions at this rank
-            };
-            for attempt in 0..cfg.lim {
-                let kind = if attempt > 0 {
-                    target = walk.next_target();
-                    ledger.charge_hops(1);
-                    MessageKind::SuccessorScan
-                } else {
-                    MessageKind::Probe
-                };
-                let scan_span = if attempt > 0 {
-                    start_span(prober.transport, names::SPAN_SUCC_SCAN, u64::from(attempt))
-                } else {
-                    None
-                };
-                prober.probe(target, rank, kind, ledger, &mut stats, |mi, vector| {
-                    if first_zero[mi][vector].is_none() && !confirmed[mi][vector] {
-                        confirmed[mi][vector] = true;
-                        in_question -= 1;
-                    }
-                });
-                end_span(prober.transport, scan_span);
-                if in_question == 0 {
-                    break; // every candidate is set at this rank
-                }
-            }
-            end_span(prober.transport, interval_span);
-            // Candidates never seen set at this rank: their lowest zero is
-            // here (possibly wrongly, if all `lim` probes missed — §4.1).
-            for (mi, row) in confirmed.iter().enumerate() {
-                for (vector, &is_set) in row.iter().enumerate() {
-                    if first_zero[mi][vector].is_none() && !is_set {
-                        first_zero[mi][vector] = Some(rank);
-                        unresolved -= 1;
-                    }
-                }
-            }
-        }
-
-        stats.bytes = ledger.bytes() - bytes_before;
-        stats.hops = ledger.hops() - hops_before;
-        // Vectors set at every scanned rank saturate at rank_bits.
-        let saturated = cfg.rank_bits();
-        metrics
-            .iter()
-            .zip(first_zero)
-            .map(|(&metric, vec_zeros)| {
-                let values: Vec<u32> = vec_zeros
-                    .into_iter()
-                    .map(|z| z.unwrap_or(saturated))
-                    .collect();
-                CountResult {
-                    metric,
-                    estimate: pcsa_estimate_from_first_zeros(&values),
-                    registers: values,
-                    stats,
-                }
-            })
-            .collect()
+        let mut machine = ScanMachine::pcsa(self, metrics, origin, ledger);
+        drive_scan_in_order(&mut machine, ring, transport, rng, ledger);
+        machine.finish(ledger)
     }
 }
 

@@ -16,21 +16,18 @@
 //! group with a single lookup, touching at most `k` nodes per round
 //! ([`Dhs::bulk_insert`]).
 
-use std::collections::BTreeMap;
-
 use rand::Rng;
 
 use dhs_dht::cost::CostLedger;
 use dhs_dht::overlay::Overlay;
-use dhs_dht::storage::StoredRecord;
 use dhs_obs::names;
 use dhs_sketch::rho::{lsb, rho};
 
 use crate::cast::checked_cast;
 use crate::config::{ConfigError, DhsConfig};
 use crate::fast::EpochCache;
-use crate::intervals::interval_for_rank;
-use crate::transport::{end_span, start_span, with_retry, DirectTransport, MessageKind, Transport};
+use crate::machine::{drive_store_in_order, StoreMachine};
+use crate::transport::{end_span, start_span, DirectTransport, Transport};
 use crate::tuple::{DhsTuple, MetricId};
 
 /// The DHS protocol handle: a validated configuration plus the insertion
@@ -420,6 +417,11 @@ impl Dhs {
         self.store_grouped(ring, transport, groups, origin, rng, ledger)
     }
 
+    /// The store path is a [`StoreMachine`] (routing-key pass, per-owner
+    /// batching, replica forwarding) driven in strict submission order
+    /// with a window of 1 — byte-identical to the old sequential
+    /// per-owner loop. Out-of-order engines construct the machine with a
+    /// wider window to keep several owner chains in flight.
     fn store_grouped<O: Overlay, T: Transport>(
         &self,
         ring: &mut O,
@@ -429,83 +431,9 @@ impl Dhs {
         rng: &mut impl Rng,
         ledger: &mut CostLedger,
     ) -> Vec<bool> {
-        // Pass 1: routing-key draws, in caller (ascending-rank) order.
-        let placements: Vec<(u64, u64)> = groups
-            .iter()
-            .map(|&(rank, _)| {
-                let interval = interval_for_rank(&self.cfg, rank);
-                let routing_key = rng.gen_range(interval.lo..=interval.hi);
-                (routing_key, ring.owner_of(routing_key))
-            })
-            .collect();
-        // Pass 2: one Store message per distinct owner.
-        let mut by_owner: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
-        for (i, &(_, owner)) in placements.iter().enumerate() {
-            by_owner.entry(owner).or_default().push(i);
-        }
-        let mut ok = vec![false; groups.len()];
-        for (&owner, members) in &by_owner {
-            let tuple_count: usize = members.iter().map(|&i| groups[i].1.len()).sum();
-            let payload = u64::from(self.cfg.tuple_bytes) * tuple_count as u64;
-            let routing_key = placements[members[0]].0;
-            let route_span = start_span(transport, names::SPAN_ROUTE, tuple_count as u64);
-            let sent = with_retry(transport, |t| {
-                let hops_before = ledger.hops();
-                match t.recorder() {
-                    Some(obs) => ring.route_observed(origin, routing_key, ledger, obs),
-                    None => ring.route(origin, routing_key, ledger),
-                };
-                let hops = ledger.hops() - hops_before;
-                // One logical message carrying the payload across `hops` hops.
-                t.routed_exchange(origin, owner, hops, MessageKind::Store, payload, 0, ledger)
-            });
-            end_span(transport, route_span);
-            if let Some(r) = transport.recorder() {
-                r.observe(names::BATCH_SIZE, tuple_count as u64);
-            }
-            if sent.is_err() {
-                if let Some(r) = transport.recorder() {
-                    r.incr(names::OP_STORE_LOST, 1);
-                }
-                continue; // every attempt timed out: these tuples are lost
-            }
-            for &i in members {
-                ok[i] = true;
-            }
-
-            let expires_at = ring.time().saturating_add(self.cfg.ttl);
-            let store_span = start_span(transport, names::SPAN_STORE, tuple_count as u64);
-            let mut holder = owner;
-            for replica in 0..self.cfg.replication {
-                if replica > 0 {
-                    let next = ring.next_node(holder);
-                    if next == owner {
-                        break; // ring smaller than the replication degree
-                    }
-                    ledger.charge_hops(1);
-                    let leg = with_retry(transport, |t| {
-                        t.exchange(holder, next, MessageKind::Store, payload, 0, ledger)
-                    });
-                    if leg.is_err() {
-                        break; // forwarding chain broken at this successor
-                    }
-                    holder = next;
-                    ledger.record_visit(holder);
-                }
-                for &i in members {
-                    let record = StoredRecord {
-                        expires_at,
-                        size_bytes: self.cfg.tuple_bytes,
-                        routing_key: placements[i].0,
-                    };
-                    for tuple in &groups[i].1 {
-                        ring.put_at(holder, tuple.app_key(), record);
-                    }
-                }
-            }
-            end_span(transport, store_span);
-        }
-        ok
+        let mut machine = StoreMachine::new(&self.cfg, groups.to_vec(), origin, 1, &*ring, rng);
+        drive_store_in_order(&mut machine, ring, transport, ledger);
+        machine.into_ok()
     }
 }
 
@@ -513,6 +441,7 @@ impl Dhs {
 #[allow(clippy::cast_possible_truncation)] // test data has known ranges
 mod tests {
     use super::*;
+    use crate::intervals::interval_for_rank;
     use dhs_dht::ring::{Ring, RingConfig};
     use dhs_sketch::{ItemHasher, SplitMix64};
     use rand::rngs::StdRng;

@@ -18,6 +18,8 @@ fn main() {
         ("metric_names", "crates/core/src/metrics.rs"),
         ("panic_hygiene", "crates/dht/src/panics.rs"),
         ("allowed", "crates/core/src/allowed.rs"),
+        ("threading", "crates/core/src/threading.rs"),
+        ("threading_approved", "crates/par/src/driver.rs"),
     ];
     for (case, rel) in cases {
         let src = fs::read_to_string(root.join(rel)).unwrap();

@@ -1,0 +1,32 @@
+//! Deliberate ad-hoc threading on the replay path: every lock type and
+//! bare `spawn(` here must be flagged by the `determinism` rule, except
+//! where an allow directive vouches for it.
+
+use std::sync::{Mutex, RwLock};
+
+/// Bare thread spawn: one finding.
+pub fn fire_and_forget() {
+    let handle = std::thread::spawn(|| 1u64);
+    let _ = handle.join();
+}
+
+/// Shared-state locks: one finding per lock type mention.
+pub fn shared_counters() -> u64 {
+    let counter = Mutex::new(0u64);
+    let snapshot = RwLock::new(7u64);
+    let a = *counter.lock().unwrap_or_else(|p| p.into_inner());
+    let b = *snapshot.read().unwrap_or_else(|p| p.into_inner());
+    a + b
+}
+
+/// A vouched-for cache lock: the directive suppresses the finding.
+pub fn vouched_cache() -> u64 {
+    let cache = Mutex::new(3u64); // dhs-lint: allow(determinism)
+    *cache.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// `spawn` as a plain identifier without a call is not flagged.
+pub fn named_after_spawn() -> u64 {
+    let spawn = 5u64;
+    spawn
+}

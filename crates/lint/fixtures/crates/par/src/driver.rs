@@ -1,0 +1,18 @@
+//! The one approved threading module: `crates/par/src/driver.rs` is on
+//! the `THREADING_APPROVED` list, so spawns and locks here are clean.
+
+use std::sync::Mutex;
+
+/// Approved worker fan-out: no findings.
+pub fn fan_out() -> u64 {
+    let total = Mutex::new(0u64);
+    std::thread::scope(|scope| {
+        for add in 0..4u64 {
+            scope.spawn(|| {
+                *total.lock().unwrap_or_else(|p| p.into_inner()) += add;
+            });
+        }
+    });
+    let sum = *total.lock().unwrap_or_else(|p| p.into_inner());
+    sum
+}

@@ -22,12 +22,22 @@ use crate::lexer::{lex, Tok, Token};
 /// Crates on the deterministic-replay path: two same-seed runs must be
 /// byte-identical, so wall clocks, OS entropy, and hash-iteration order
 /// are banned outright.
-pub const REPLAY_CRATES: &[&str] = &["core", "net", "obs", "dht", "sketch", "shard", "traj"];
+pub const REPLAY_CRATES: &[&str] = &[
+    "core", "net", "obs", "dht", "sketch", "shard", "traj", "par",
+];
 
 /// Crates whose recorder call sites must use `dhs_obs::names` constants.
 /// `bench` is otherwise exempt (measurement code), but its KPI emitters
 /// feed the trajectory registry, so its metric names are checked too.
-pub const METRIC_NAME_CRATES: &[&str] = &["core", "dht", "net", "obs", "shard", "traj", "bench"];
+pub const METRIC_NAME_CRATES: &[&str] =
+    &["core", "dht", "net", "obs", "shard", "traj", "bench", "par"];
+
+/// The only replay-path modules allowed to spawn threads or take locks:
+/// dhs-par's sharded driver, whose fan-in merge is what *makes* threading
+/// deterministic. Everywhere else on the replay path, `spawn`/`Mutex`/
+/// `RwLock` (and unseeded per-thread RNGs, already covered by the
+/// `thread_rng`/`from_entropy` checks) are determinism violations.
+pub const THREADING_APPROVED: &[&str] = &["crates/par/src/driver.rs"];
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -394,6 +404,14 @@ const ITER_METHODS: &[&str] = &[
 ];
 
 fn determinism(ctx: &mut Ctx<'_>, toks: &[Token]) {
+    // Threading primitives are only legitimate in the approved driver
+    // modules (compare with the `fixtures/` prefix stripped, like
+    // `classify`, so fixture corpora can cover both sides).
+    let stripped = match ctx.path.rfind("fixtures/") {
+        Some(i) => &ctx.path[i + "fixtures/".len()..],
+        None => ctx.path,
+    };
+    let threading_approved = THREADING_APPROVED.contains(&stripped);
     // Pass 1: identifiers declared with a HashMap/HashSet type.
     let mut hash_idents: BTreeSet<&str> = BTreeSet::new();
     for i in 0..toks.len() {
@@ -437,6 +455,19 @@ fn determinism(ctx: &mut Ctx<'_>, toks: &[Token]) {
         let line = toks[i].line;
         match &toks[i].kind {
             Tok::Ident(s) if s == "SystemTime" || s == "thread_rng" || s == "from_entropy" => {
+                ctx.report(line, "determinism");
+            }
+            // Bare threading/locking outside the approved driver modules:
+            // un-merged cross-thread effects are exactly the hash-order
+            // bug class with extra steps.
+            Tok::Ident(s) if !threading_approved && (s == "Mutex" || s == "RwLock") => {
+                ctx.report(line, "determinism");
+            }
+            Tok::Ident(s)
+                if !threading_approved
+                    && s == "spawn"
+                    && toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct('(')) =>
+            {
                 ctx.report(line, "determinism");
             }
             Tok::Ident(s)

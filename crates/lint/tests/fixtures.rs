@@ -68,6 +68,16 @@ fn allow_directives_suppress_everything() {
 }
 
 #[test]
+fn ad_hoc_threading_is_found_on_the_replay_path() {
+    check("threading", "crates/core/src/threading.rs");
+}
+
+#[test]
+fn approved_driver_module_may_spawn_and_lock() {
+    check("threading_approved", "crates/par/src/driver.rs");
+}
+
+#[test]
 fn fixture_paths_classify_like_workspace_paths() {
     let via_fixture = classify("fixtures/crates/core/src/determinism.rs");
     let direct = classify("crates/core/src/determinism.rs");

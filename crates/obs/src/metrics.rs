@@ -96,6 +96,28 @@ impl LogLinearHistogram {
         }
     }
 
+    /// Fold `other` into `self`: buckets, counts, and sums add; the exact
+    /// `[min, max]` envelope widens. Absorbing worker histograms in any
+    /// order yields the same result as observing the union of their value
+    /// multisets, so a fan-in merge is partition-insensitive.
+    pub fn absorb(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     /// Approximate quantile `q` in `[0, 1]` (lower bucket bound, clamped to
     /// the exact `[min, max]` range). Returns 0 if empty.
     #[allow(clippy::cast_possible_truncation)]
@@ -209,6 +231,26 @@ impl MetricsRegistry {
     pub fn digest(&self) -> u64 {
         fnv1a(self.snapshot_jsonl().as_bytes())
     }
+
+    /// Fold `other` into `self`: counters add, gauges keep the larger
+    /// value, histograms merge bucket-wise. Because every combinator is
+    /// commutative and associative, absorbing per-worker registries in
+    /// any order — or under any work partition that preserves each
+    /// metric's observation multiset — produces the same snapshot and
+    /// digest; this is the fan-in half of the deterministic threaded
+    /// driver.
+    pub fn absorb(&mut self, other: &Self) {
+        for (&name, &value) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += value;
+        }
+        for (&name, &value) in &other.gauges {
+            let g = self.gauges.entry(name).or_insert(0);
+            *g = (*g).max(value);
+        }
+        for (&name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().absorb(h);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +308,41 @@ mod tests {
         for q in [0.0, 0.5, 0.99, 1.0] {
             assert_eq!(h.quantile(q), 42);
         }
+    }
+
+    #[test]
+    fn absorb_matches_direct_observation() {
+        // Split one observation stream across two registries; absorbing
+        // the parts must be indistinguishable from the unsplit run.
+        let mut whole = MetricsRegistry::new();
+        let mut left = MetricsRegistry::new();
+        let mut right = MetricsRegistry::new();
+        for v in 0..100u64 {
+            whole.incr("c.items", 1);
+            whole.observe("h.size", v * 7);
+            let part = if v % 3 == 0 { &mut left } else { &mut right };
+            part.incr("c.items", 1);
+            part.observe("h.size", v * 7);
+        }
+        whole.gauge_set("g.peak", 40);
+        left.gauge_set("g.peak", 40);
+        right.gauge_set("g.peak", 12);
+        let mut merged = MetricsRegistry::new();
+        merged.absorb(&right);
+        merged.absorb(&left);
+        assert_eq!(merged.snapshot_jsonl(), whole.snapshot_jsonl());
+        assert_eq!(merged.digest(), whole.digest());
+    }
+
+    #[test]
+    fn absorb_empty_histogram_keeps_envelope() {
+        let mut a = LogLinearHistogram::new();
+        a.observe(5);
+        a.absorb(&LogLinearHistogram::new());
+        assert_eq!((a.count(), a.min(), a.max()), (1, 5, 5));
+        let mut b = LogLinearHistogram::new();
+        b.absorb(&a);
+        assert_eq!((b.count(), b.min(), b.max(), b.sum()), (1, 5, 5, 5));
     }
 
     #[test]

@@ -228,6 +228,40 @@ pub const ABL_SHARD_SPILL_LOSSLESS: &str = "ablation.shard.spill.lossless";
 pub const ABL_SHARD_EVICT_DETERMINISTIC: &str = "ablation.shard.evict.deterministic";
 
 // ---------------------------------------------------------------------
+// Parallel driver + out-of-order completion lab (dhs-par).
+// ---------------------------------------------------------------------
+
+/// Items ingested by the threaded saturation driver (all workers).
+pub const PAR_ITEMS: &str = "par.items";
+/// Chunks shipped over per-worker SPSC queues.
+pub const PAR_BATCHES: &str = "par.batches";
+/// Per-worker item counts (histogram over workers).
+pub const PAR_WORKER_ITEMS: &str = "par.worker.items";
+/// Per-worker virtual busy ticks (histogram over workers).
+pub const PAR_WORKER_BUSY_TICKS: &str = "par.worker.busy.ticks";
+/// Virtual ticks spent in the single-threaded fan-in merge.
+pub const PAR_MERGE_TICKS: &str = "par.merge.ticks";
+/// Worker count of the saturation run (gauge).
+pub const PAR_THREADS: &str = "par.threads";
+/// Completions the out-of-order lab delivered.
+pub const PAR_COMPLETIONS: &str = "par.completions";
+/// Completions delivered out of submission order.
+pub const PAR_REORDERED: &str = "par.reordered";
+
+/// Aggregate saturation throughput (inserts/s, gauge).
+pub const ABL_SAT_INSERTS: &str = "ablation.sat.inserts";
+/// Virtual speedup over the 1-thread run (gauge, milli-units).
+pub const ABL_SAT_SPEEDUP: &str = "ablation.sat.speedup";
+/// Per-thread efficiency: speedup / threads (gauge, milli-percent).
+pub const ABL_SAT_EFFICIENCY_PCT: &str = "ablation.sat.efficiency.pct";
+/// Fan-in merge share of the parallel critical path (gauge, milli-pct).
+pub const ABL_SAT_MERGE_OVERHEAD_PCT: &str = "ablation.sat.merge.overhead.pct";
+/// Worker count of the ablation point (gauge).
+pub const ABL_SAT_THREADS: &str = "ablation.sat.threads";
+/// 1 when the state digest matches the 1-thread run's digest.
+pub const ABL_SAT_DIGEST_INVARIANT: &str = "ablation.sat.digest.invariant";
+
+// ---------------------------------------------------------------------
 // Ablation-harness bookkeeping (dhs-traj).
 // ---------------------------------------------------------------------
 
@@ -345,6 +379,20 @@ pub const ALL: &[&str] = &[
     ABL_SHARD_TRANSPARENT,
     ABL_SHARD_SPILL_LOSSLESS,
     ABL_SHARD_EVICT_DETERMINISTIC,
+    PAR_ITEMS,
+    PAR_BATCHES,
+    PAR_WORKER_ITEMS,
+    PAR_WORKER_BUSY_TICKS,
+    PAR_MERGE_TICKS,
+    PAR_THREADS,
+    PAR_COMPLETIONS,
+    PAR_REORDERED,
+    ABL_SAT_INSERTS,
+    ABL_SAT_SPEEDUP,
+    ABL_SAT_EFFICIENCY_PCT,
+    ABL_SAT_MERGE_OVERHEAD_PCT,
+    ABL_SAT_THREADS,
+    ABL_SAT_DIGEST_INVARIANT,
     TRAJ_JOB,
     TRAJ_JOB_FAILED,
     TRAJ_KPI_PASS,

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Reproduce the headline benchmark numbers: builds the workspace in
 # release mode, runs the `repro bench` subcommand (baseline vs dhs-fast,
-# written to BENCH_dhs.json) and the `repro bench-shard` subcommand (the
-# 10⁶-metric sharded-store run, written to BENCH_shard.json), then runs
-# the full N3/N4 ablation plans, gates their KPIs against the committed
+# written to BENCH_dhs.json), the `repro bench-shard` subcommand (the
+# 10⁶-metric sharded-store run, written to BENCH_shard.json) and the
+# `repro bench-sat` subcommand (the threaded-driver saturation sweep
+# over the same workload, written to BENCH_sat.json), then runs the
+# full N3/N4/N6 ablation plans, gates their KPIs against the committed
 # trajectory registry, and appends the new rows to it.
 #
 # Extra flags are forwarded to repro (e.g. `scripts/bench.sh --quick`,
@@ -19,4 +21,5 @@ export DHS_COMMIT
 cargo build --release --workspace
 cargo run --release -p dhs-bench --bin repro -- bench "$@"
 cargo run --release -p dhs-bench --bin repro -- bench-shard "$@"
-cargo run --release -p dhs-bench --bin repro -- ablate n3-fastpath n4-shard --gate --append "$@"
+cargo run --release -p dhs-bench --bin repro -- bench-sat "$@"
+cargo run --release -p dhs-bench --bin repro -- ablate n3-fastpath n4-shard n6-saturation --gate --append "$@"

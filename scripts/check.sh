@@ -67,15 +67,34 @@ grep -q '"lossless_spill_preserves_estimates": true' "$shard_a"
 grep -q '"two_runs_identical": true' "$shard_a"
 echo "shard scenario (DHS_SHARD_METRICS=$DHS_SHARD_METRICS): equivalent, two runs digest-identical"
 
-# Ablation-harness gate: the smoke plans (CI-scale N3/N4 sweeps) must
+# Threaded-driver scenario at CI scale: the N6 saturation sweep
+# (DHS_SAT_METRICS-scaled) at 1 and at 2 worker threads, twice each.
+# The state digest folds every (key, estimate) pair shard by shard —
+# wall-clock-free — so the four runs must agree on it exactly: two
+# same-seed runs per thread count (reproducibility) *and* across the
+# two thread counts (the dhs-par thread-count-invariance contract).
+sat_a=$(mktemp)
+sat_b=$(mktemp)
+trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$run_a" "$run_b" "$shard_a" "$shard_b" "$sat_a" "$sat_b"' EXIT
+export DHS_SAT_METRICS="${DHS_SAT_METRICS:-5000}"
+cargo run --release --quiet -p dhs-bench --bin repro -- saturation > "$sat_a"
+cargo run --release --quiet -p dhs-bench --bin repro -- saturation > "$sat_b"
+sat_digest() { grep -o 'state digest 0x[0-9a-f]*' "$1"; }
+[ -n "$(sat_digest "$sat_a")" ] && [ "$(sat_digest "$sat_a")" = "$(sat_digest "$sat_b")" ]
+grep -q 'digests invariant across thread counts: PASS' "$sat_a"
+echo "saturation scenario (DHS_SAT_METRICS=$DHS_SAT_METRICS): digest thread-count-invariant, two runs identical"
+
+# Ablation-harness gate: the smoke plans (CI-scale N3/N4/N6 sweeps) must
 # (a) pass every declared KPI envelope, (b) print byte-identical report
 # JSON across two runs, and (c) show no KPI drift against the committed
 # trajectory registry — a perturbed baseline makes this a hard failure.
+# The smoke-saturation plan runs W = 1 and W = 2 jobs, so its
+# digest_invariant KPI re-checks thread-count invariance under --gate.
 abl_a=$(mktemp)
 abl_b=$(mktemp)
-trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$run_a" "$run_b" "$shard_a" "$shard_b" "$abl_a" "$abl_b"' EXIT
-cargo run --release --quiet -p dhs-bench --bin repro -- ablate smoke --gate > "$abl_a"
-cargo run --release --quiet -p dhs-bench --bin repro -- ablate smoke --gate > "$abl_b"
+trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$run_a" "$run_b" "$shard_a" "$shard_b" "$sat_a" "$sat_b" "$abl_a" "$abl_b"' EXIT
+cargo run --release --quiet -p dhs-bench --bin repro -- ablate smoke smoke-saturation --gate > "$abl_a"
+cargo run --release --quiet -p dhs-bench --bin repro -- ablate smoke smoke-saturation --gate > "$abl_b"
 cmp "$abl_a" "$abl_b"
 echo "ablation smoke plans: KPIs in envelope, no drift vs registry/traj.csv, two runs byte-identical"
 
