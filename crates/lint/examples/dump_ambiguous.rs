@@ -1,0 +1,61 @@
+//! Developer tool: list the call names that remain ambiguous after
+//! type-aware resolution, most frequent first, with one example site
+//! each. Run as:
+//!
+//! ```text
+//! cargo run -p dhs-lint --example dump_ambiguous [workspace-root]
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use dhs_lint::callgraph::CallGraph;
+use dhs_lint::resolve::SiteKind;
+use dhs_lint::rules::classify;
+use dhs_lint::walk::rust_sources;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let files = rust_sources(&root).expect("walk workspace");
+    let mut inputs = Vec::new();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel)).expect("read source");
+        inputs.push((rel, source));
+    }
+    let parsed: Vec<dhs_lint::items::FileItems> = inputs
+        .iter()
+        .map(|(rel, source)| dhs_lint::items::parse_items(rel, source))
+        .filter(|f| dhs_lint::rules::flow_scope(&classify(&f.path)))
+        .collect();
+    let graph = CallGraph::build(&parsed);
+    let mut by_name: BTreeMap<&str, (usize, String)> = BTreeMap::new();
+    for site in &graph.sites {
+        if site.kind != SiteKind::Ambiguous {
+            continue;
+        }
+        let e = by_name
+            .entry(site.name.as_str())
+            .or_insert_with(|| (0, String::new()));
+        e.0 += 1;
+        if e.1.is_empty() {
+            let f = &graph.fns[site.caller];
+            e.1 = format!(
+                "{}:{} in {}",
+                parsed[f.file].path,
+                parsed[f.file].fns[f.item].line,
+                parsed[f.file].fns[f.item].name
+            );
+        }
+    }
+    let mut rows: Vec<(usize, &str, String)> =
+        by_name.into_iter().map(|(n, (c, ex))| (c, n, ex)).collect();
+    rows.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
+    let total: usize = rows.iter().map(|r| r.0).sum();
+    println!("total ambiguous sites: {total}");
+    for (count, name, example) in rows {
+        println!("{count:5}  {name:28} e.g. {example}");
+    }
+}

@@ -6,7 +6,17 @@ use dhs_lint::{flow_files, lint_source, render_flow_jsonl, render_jsonl, rust_so
 
 /// The flow fixture cases: each is a mini-workspace under
 /// `fixtures/flow/<case>/`.
-pub const FLOW_CASES: &[&str] = &["cycles", "dropped", "entropy", "flow_clean", "plumbing"];
+pub const FLOW_CASES: &[&str] = &[
+    "cycles",
+    "dispatch",
+    "dropped",
+    "entropy",
+    "flow_clean",
+    "plumbing",
+    "protocol_effects",
+    "protocol_exchange",
+    "protocol_submit",
+];
 
 fn main() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
@@ -16,6 +26,7 @@ fn main() {
         ("determinism", "crates/core/src/determinism.rs"),
         ("lossy_cast", "crates/core/src/lossy.rs"),
         ("metric_names", "crates/core/src/metrics.rs"),
+        ("metric_flow", "crates/core/src/metric_flow.rs"),
         ("panic_hygiene", "crates/dht/src/panics.rs"),
         ("allowed", "crates/core/src/allowed.rs"),
         ("threading", "crates/core/src/threading.rs"),

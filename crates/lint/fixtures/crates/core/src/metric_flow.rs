@@ -1,0 +1,26 @@
+//! Fixture: flow-aware metric-name propagation. Const items, `concat!`
+//! of literals, and single-assignment locals resolve to their string
+//! values; a resolved non-canonical value is a violation the plain
+//! literal scan cannot see. Poisoned bindings are skipped, not guessed.
+
+/// Canonical, via a file-local const.
+const OP_NAME: &str = "op.insert";
+/// Non-canonical, via const `concat!` — never appears as a literal in
+/// any recorder argument list.
+const BAD_NAME: &str = concat!("op.", "inserted");
+
+pub fn record(rec: &mut Recorder, v: u64) {
+    rec.incr(OP_NAME, 1);
+    rec.incr(BAD_NAME, 1);
+    let lat = "latency.ticks";
+    rec.observe(lat, v);
+    let typo = "latency.tick";
+    rec.observe(typo, v);
+    let mut dynamic = "latency.ticks";
+    dynamic = pick(v);
+    rec.observe(dynamic, v);
+}
+
+fn pick(_v: u64) -> &'static str {
+    "latency.ticks"
+}

@@ -1,0 +1,77 @@
+//! Fixture: receiver-type dispatch. Two types share the method name
+//! `advance`; type-aware resolution must send each call site to its own
+//! impl, so only the clocked chain carries the entropy taint. The
+//! `dyn Step` entry dispatches over every implementor and inherits the
+//! taint through the clocked one.
+
+pub trait Step {
+    fn advance(&mut self) -> u64;
+}
+
+pub struct Seeded {
+    state: u64,
+}
+
+impl Step for Seeded {
+    fn advance(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(25214903917).wrapping_add(11);
+        self.state
+    }
+}
+
+pub struct Clocked {
+    last: u64,
+}
+
+impl Step for Clocked {
+    fn advance(&mut self) -> u64 {
+        self.last = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(self.last);
+        self.last
+    }
+}
+
+pub struct Registry {
+    seeded: Seeded,
+}
+
+impl Registry {
+    /// Chained-call receiver: `reg.seeded().advance()` types through
+    /// this return value.
+    pub fn seeded(&mut self) -> &mut Seeded {
+        &mut self.seeded
+    }
+
+    /// Inherent method sharing the trait-method name: `reg.advance()`
+    /// must resolve here, not into the `Step` impls.
+    pub fn advance(&mut self) -> u64 {
+        self.seeded.advance()
+    }
+}
+
+/// Clean: resolves to `<Seeded as Step>::advance`.
+pub fn count_seeded(s: &mut Seeded) -> u64 {
+    s.advance()
+}
+
+/// Tainted: resolves to `<Clocked as Step>::advance`.
+pub fn count_clocked(c: &mut Clocked) -> u64 {
+    c.advance()
+}
+
+/// Tainted: dispatch over all `Step` implementors includes `Clocked`.
+pub fn count_any(n: &mut dyn Step) -> u64 {
+    n.advance()
+}
+
+/// Clean: the chained receiver types to `Seeded`.
+pub fn count_registry(reg: &mut Registry) -> u64 {
+    reg.seeded().advance()
+}
+
+/// Clean: the inherent method wins over the same-name trait impls.
+pub fn count_inherent(reg: &mut Registry) -> u64 {
+    reg.advance()
+}

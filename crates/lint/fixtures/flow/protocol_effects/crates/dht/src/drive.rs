@@ -1,0 +1,17 @@
+//! Fixture: `protocol-inflight-effects` — RNG draws and recorder calls
+//! between a submit and the next completion pop observe the completion
+//! schedule, which the machines' order-invariance proof says is
+//! unobservable. Effects after the pop are fine.
+
+use dhs_par::lab::CompletionLab;
+
+/// Two violations in the in-flight window (a draw and a recorder
+/// call); the post-pop `incr` is clean.
+pub fn drive(lab: &mut CompletionLab, rng: &mut impl Rng, rec: &mut Recorder) -> u64 {
+    lab.submit(1);
+    let jitter = rng.gen_range(0..4);
+    rec.incr("op.insert", jitter);
+    let got = lab.pop_seeded();
+    rec.incr("op.insert", 1);
+    got + jitter
+}

@@ -1,0 +1,9 @@
+//! Machine executor stand-in: the one approved caller of the
+//! synchronous surface outside the transport decorators.
+
+use crate::transport::Transport;
+
+/// Approved: `exec_send` lives in an exchange module.
+pub fn exec_send<T: Transport>(t: &mut T, payload: u64) -> u64 {
+    t.exchange(payload)
+}

@@ -1,0 +1,11 @@
+//! Legacy synchronous exchange surface stand-in (path matches
+//! `protocol::EXCHANGE_MODULES`).
+
+pub trait Transport {
+    fn exchange(&mut self, payload: u64) -> u64;
+}
+
+/// Retry wrapper over the synchronous surface.
+pub fn with_retry(payload: u64) -> u64 {
+    payload
+}

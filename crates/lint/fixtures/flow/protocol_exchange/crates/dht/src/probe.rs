@@ -1,0 +1,11 @@
+//! Fixture: `protocol-sync-exchange` — replay-path code outside the
+//! approved modules calling the legacy synchronous surface directly
+//! instead of going through the machines.
+
+use dhs_core::transport::{with_retry, Transport};
+
+/// Two violations: the direct `exchange` and the retry wrapper.
+pub fn probe<T: Transport>(t: &mut T) -> u64 {
+    let first = t.exchange(1);
+    first + with_retry(2)
+}

@@ -1,0 +1,16 @@
+//! Fixture: `protocol-submit-completion` — a typed submit whose
+//! enclosing fn never reaches a completion pop leaks the in-flight
+//! request.
+
+use dhs_par::lab::CompletionLab;
+
+/// Violation: submits and returns without any pop on any path.
+pub fn fire_and_forget(lab: &mut CompletionLab, tag: u32) {
+    lab.submit(tag);
+}
+
+/// Clean: the same fn drains its own submission.
+pub fn fire_and_drain(lab: &mut CompletionLab, tag: u32) -> u64 {
+    lab.submit(tag);
+    lab.pop_fifo()
+}

@@ -1,0 +1,20 @@
+//! Machine-module stand-in: the completion lab owns the submit/pop
+//! protocol surface (path matches `protocol::MACHINE_MODULES`).
+
+pub struct CompletionLab {
+    pending: u64,
+}
+
+impl CompletionLab {
+    pub fn submit(&mut self, tag: u32) {
+        self.pending += u64::from(tag);
+    }
+
+    pub fn pop_seeded(&mut self) -> u64 {
+        self.pending
+    }
+
+    pub fn pop_fifo(&mut self) -> u64 {
+        self.pending
+    }
+}

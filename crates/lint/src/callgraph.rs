@@ -1,31 +1,37 @@
-//! Workspace-wide call-graph construction over [`crate::items`].
+//! Workspace-wide call-graph construction over [`crate::items`],
+//! resolved with the receiver-type model of [`crate::types`] /
+//! [`crate::resolve`].
 //!
-//! Resolution is heuristic but honest about it:
+//! Every call site is classified (see [`SiteKind`]):
 //!
-//! * **Path-qualified calls** (`Type::name(...)`, `Self::name(...)`)
-//!   resolve against the `(self_type, name)` table.
-//! * **`self.name(...)` method calls** resolve to the method of the
-//!   enclosing impl's self-type when it exists.
-//! * **Free calls** resolve by bare name: exactly one workspace fn of
-//!   that name → a *resolved* edge; several → an *ambiguous* edge set.
-//! * **Other method calls** (`x.name(...)`, receiver not literally
-//!   `self`) are *never* certain — the receiver's type is unknown, so
-//!   even a unique same-named workspace method only yields ambiguous
-//!   edges. (Otherwise `fn clear(&mut self) { self.entries.clear() }`
-//!   would fabricate a self-loop.) Ambiguous edges are reported
-//!   separately and used only where over-approximation is safe (taint
-//!   propagation), never where it would fabricate findings (recursion
-//!   cycles).
+//! * **Resolved** — a unique type-justified callee: free calls with one
+//!   workspace match, `Type::name(...)`/`Self::name(...)` against the
+//!   `(self_type, name)` table, and `recv.name(...)` where the
+//!   receiver's type head is inferable (params, `self`, let bindings,
+//!   field chains, call returns) and names exactly one impl.
+//! * **Dispatch** — a type-justified *set*: a trait-bound receiver
+//!   dispatching over the trait's workspace implementors, or a type
+//!   name defined in several impl blocks.
+//! * **External** — the receiver type is known and the method is not a
+//!   workspace fn (`Vec::push`, foreign-trait methods like
+//!   `Rng::gen_range`). Counted only when the bare name collides with
+//!   workspace fns — i.e. where the old name-based graph would have
+//!   fabricated ambiguous edges.
+//! * **Ambiguous** — the receiver's type is not inferable; the old
+//!   name-based candidate fallback, reported separately and used only
+//!   where over-approximation is safe (taint propagation), never where
+//!   it would fabricate findings (recursion cycles).
 //!
-//! Calls to names not defined in the scanned set (std, shims, …) are
-//! external and ignored — except that the flow rules themselves scan
-//! bodies for the specific external tokens they care about
-//! (`thread_rng`, `.gen_range(`, …).
+//! Calls to names not defined in the scanned set (std, shims, …) with
+//! no workspace collision are external and invisible — except that the
+//! flow rules themselves scan bodies for the specific external tokens
+//! they care about (`thread_rng`, `.gen_range(`, …).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
-use crate::items::{is_call_at, FileItems};
-use crate::lexer::Tok;
+use crate::items::FileItems;
+use crate::resolve::{CallSite, ResolutionStats, Resolver, SiteKind};
+use crate::types::TypeIndex;
 
 /// A function's global id: index into [`CallGraph::fns`].
 pub type FnId = usize;
@@ -39,24 +45,34 @@ pub struct FnRef {
     pub item: usize,
 }
 
-/// The workspace call graph: non-test library fns as nodes, resolved
-/// and ambiguous call edges, plus resolution statistics.
+/// The workspace call graph: non-test library fns as nodes, typed
+/// resolved/dispatch edges plus the name-based ambiguous remainder.
 #[derive(Debug)]
 pub struct CallGraph {
     /// Global fn table, in (file, source) order — deterministic.
     pub fns: Vec<FnRef>,
-    /// Resolved callees per fn (exactly one candidate matched).
+    /// Uniquely resolved callees per fn.
     pub callees: Vec<BTreeSet<FnId>>,
-    /// Ambiguous callee candidates per fn (several matched; the edge
-    /// over-approximates).
+    /// Type-justified dispatch sets per fn (trait-bound receivers over
+    /// their workspace implementors).
+    pub dispatch: Vec<BTreeSet<FnId>>,
+    /// Ambiguous callee candidates per fn (receiver type unknown; the
+    /// edge over-approximates).
     pub ambiguous: Vec<BTreeSet<FnId>>,
+    /// Every classified call site, in deterministic (fn, token) order.
+    pub sites: Vec<CallSite>,
+    /// Site counts per [`SiteKind`] — the resolution-rate ratchet.
+    pub stats: ResolutionStats,
     /// Number of call *sites* that resolved ambiguously.
     pub ambiguous_sites: usize,
+    /// The type index the graph was resolved against.
+    pub types: TypeIndex,
 }
 
 impl CallGraph {
-    /// Build the graph over every non-test fn of the given files.
-    pub fn build(files: &[FileItems]) -> CallGraph {
+    /// The global fn table: every non-test fn of the given files, in
+    /// (file, source) order.
+    pub fn fn_table(files: &[FileItems]) -> Vec<FnRef> {
         let mut fns = Vec::new();
         for (fi, file) in files.iter().enumerate() {
             for (ii, f) in file.fns.iter().enumerate() {
@@ -65,78 +81,83 @@ impl CallGraph {
                 }
             }
         }
-        // Name tables. Bare name → candidate ids; (self_type, name) →
-        // candidate ids (an impl type can span several blocks/crates).
-        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
-        let mut by_qual: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
-        for (id, r) in fns.iter().enumerate() {
-            let f = &files[r.file].fns[r.item];
-            by_name.entry(&f.name).or_default().push(id);
-            if let Some(t) = &f.self_type {
-                by_qual.entry((t, &f.name)).or_default().push(id);
-            }
-        }
+        fns
+    }
+
+    /// Build the graph over every non-test fn of the given files.
+    pub fn build(files: &[FileItems]) -> CallGraph {
+        let fns = Self::fn_table(files);
+        let types = TypeIndex::build(files, &fns);
+        let resolver = Resolver::new(files, &fns, &types);
 
         let mut callees = vec![BTreeSet::new(); fns.len()];
+        let mut dispatch = vec![BTreeSet::new(); fns.len()];
         let mut ambiguous = vec![BTreeSet::new(); fns.len()];
-        let mut ambiguous_sites = 0usize;
-        for (id, r) in fns.iter().enumerate() {
-            let file = &files[r.file];
-            let f = &file.fns[r.item];
-            let Some((open, close)) = f.body else {
-                continue;
-            };
-            let toks = &file.tokens;
-            for j in open + 1..close {
-                if !is_call_at(toks, j) {
-                    continue;
+        let mut sites = Vec::new();
+        let mut stats = ResolutionStats::default();
+        for id in 0..fns.len() {
+            for site in resolver.resolve_fn(id) {
+                match site.kind {
+                    SiteKind::Resolved => {
+                        stats.resolved += 1;
+                        callees[id].extend(site.candidates.iter().copied());
+                    }
+                    SiteKind::Dispatch => {
+                        stats.dispatch += 1;
+                        dispatch[id].extend(site.candidates.iter().copied());
+                    }
+                    SiteKind::External => stats.external += 1,
+                    SiteKind::Ambiguous => {
+                        stats.ambiguous += 1;
+                        ambiguous[id].extend(site.candidates.iter().copied());
+                    }
                 }
-                let Tok::Ident(name) = &toks[j].kind else {
-                    continue;
-                };
-                let (candidates, certain) =
-                    resolve(toks, j, name, f.self_type.as_deref(), &by_name, &by_qual);
-                if candidates.is_empty() {
-                    continue;
-                }
-                if certain && candidates.len() == 1 {
-                    callees[id].insert(candidates[0]);
-                } else {
-                    ambiguous_sites += 1;
-                    ambiguous[id].extend(candidates);
-                }
+                sites.push(site);
             }
         }
 
         CallGraph {
             fns,
             callees,
+            dispatch,
             ambiguous,
-            ambiguous_sites,
+            sites,
+            ambiguous_sites: stats.ambiguous,
+            stats,
+            types,
         }
     }
 
-    /// Callers of each fn over the union of resolved and ambiguous
-    /// edges (the safe direction for taint propagation).
+    /// Callers of each fn over the union of resolved, dispatch, and
+    /// ambiguous edges (the safe direction for taint propagation).
     pub fn reverse_over_approx(&self) -> Vec<BTreeSet<FnId>> {
         let mut rev = vec![BTreeSet::new(); self.fns.len()];
-        for (caller, outs) in self.callees.iter().enumerate() {
-            for &c in outs {
-                rev[c].insert(caller);
-            }
-        }
-        for (caller, outs) in self.ambiguous.iter().enumerate() {
-            for &c in outs {
-                rev[c].insert(caller);
+        for edges in [&self.callees, &self.dispatch, &self.ambiguous] {
+            for (caller, outs) in edges.iter().enumerate() {
+                for &c in outs {
+                    rev[c].insert(caller);
+                }
             }
         }
         rev
     }
 
+    /// Forward edges of each fn over the union of resolved, dispatch,
+    /// and ambiguous edges.
+    pub fn forward_over_approx(&self) -> Vec<BTreeSet<FnId>> {
+        let mut fwd = vec![BTreeSet::new(); self.fns.len()];
+        for edges in [&self.callees, &self.dispatch, &self.ambiguous] {
+            for (caller, outs) in edges.iter().enumerate() {
+                fwd[caller].extend(outs.iter().copied());
+            }
+        }
+        fwd
+    }
+
     /// Strongly connected components over the *resolved* edges only
-    /// (ambiguous edges would fabricate cycles). Returned in a
-    /// deterministic order; singleton components are included only when
-    /// they carry a self-loop.
+    /// (dispatch and ambiguous edges would fabricate cycles). Returned
+    /// in a deterministic order; singleton components are included only
+    /// when they carry a self-loop.
     pub fn recursive_components(&self) -> Vec<Vec<FnId>> {
         // Iterative Tarjan.
         let n = self.fns.len();
@@ -207,66 +228,6 @@ impl CallGraph {
     }
 }
 
-/// Candidate callees for the call whose head ident sits at `j`, plus
-/// whether the resolution is *certain* (may become a resolved edge) or
-/// inherently uncertain (ambiguous edges only).
-fn resolve(
-    toks: &[crate::lexer::Token],
-    j: usize,
-    name: &str,
-    self_type: Option<&str>,
-    by_name: &BTreeMap<&str, Vec<FnId>>,
-    by_qual: &BTreeMap<(&str, &str), Vec<FnId>>,
-) -> (Vec<FnId>, bool) {
-    let prev = |k: usize| toks.get(j.wrapping_sub(k)).map(|t| &t.kind);
-    // `Qual::name(...)`.
-    if prev(1) == Some(&Tok::Punct(':')) && prev(2) == Some(&Tok::Punct(':')) {
-        if let Some(Tok::Ident(q)) = prev(3) {
-            let qual: &str = if q == "Self" {
-                match self_type {
-                    Some(t) => t,
-                    None => return (Vec::new(), true),
-                }
-            } else {
-                q
-            };
-            if let Some(c) = by_qual.get(&(qual, name)) {
-                return (dedup(c), true);
-            }
-            // `module::free_fn(...)`: fall back to free fns by name.
-            return (free_candidates(name, by_name), true);
-        }
-        return (Vec::new(), true);
-    }
-    // `recv.name(...)`.
-    if prev(1) == Some(&Tok::Punct('.')) {
-        // `self.name(...)`: the enclosing impl's own method, if any.
-        if let (Some(Tok::Ident(r)), Some(t)) = (prev(2), self_type) {
-            if r == "self" && prev(3) != Some(&Tok::Punct('.')) {
-                if let Some(c) = by_qual.get(&(t, name)) {
-                    return (dedup(c), true);
-                }
-            }
-        }
-        // Unknown receiver type: never certain.
-        let c = by_name.get(name).map(|c| dedup(c)).unwrap_or_default();
-        return (c, false);
-    }
-    // Free call.
-    (free_candidates(name, by_name), true)
-}
-
-/// Free-call candidates: prefer fns without a self type; fall back to
-/// methods of that name (associated fns brought into scope via `use`).
-fn free_candidates(name: &str, by_name: &BTreeMap<&str, Vec<FnId>>) -> Vec<FnId> {
-    by_name.get(name).map(|c| dedup(c)).unwrap_or_default()
-}
-
-fn dedup(ids: &[FnId]) -> Vec<FnId> {
-    let set: BTreeSet<FnId> = ids.iter().copied().collect();
-    set.into_iter().collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,12 +274,35 @@ mod tests {
     }
 
     #[test]
-    fn foreign_method_calls_are_ambiguous() {
+    fn typed_param_receivers_resolve_uniquely() {
+        // Pre-dhs-types this was the canonical ambiguous site: two
+        // structs share a method name, but `x: &A` picks one.
         let (files, g) = graph(&[(
             "crates/core/src/a.rs",
             "struct A;\nimpl A {\n  fn step(&self) {}\n}\n\
              struct B;\nimpl B {\n  fn step(&self) {}\n}\n\
              fn drive(x: &A) { x.step() }\n",
+        )]);
+        let drive = id_of(&files, &g, "drive");
+        let a_step = id_of(&files, &g, "A::step");
+        assert_eq!(
+            g.callees[drive].iter().copied().collect::<Vec<_>>(),
+            vec![a_step]
+        );
+        assert!(g.ambiguous[drive].is_empty());
+        assert_eq!(g.ambiguous_sites, 0);
+        assert_eq!(g.stats.ambiguous, 0);
+    }
+
+    #[test]
+    fn unknown_receivers_stay_ambiguous() {
+        // A tuple-destructured binding has no inferable head: the site
+        // falls back to the name-based candidate set.
+        let (files, g) = graph(&[(
+            "crates/core/src/a.rs",
+            "struct A;\nimpl A {\n  fn step(&self) {}\n}\n\
+             struct B;\nimpl B {\n  fn step(&self) {}\n}\n\
+             fn drive(pair: (A, B)) { pair.0.step() }\n",
         )]);
         let drive = id_of(&files, &g, "drive");
         assert!(g.callees[drive].is_empty());
@@ -329,7 +313,8 @@ mod tests {
     #[test]
     fn field_method_of_same_name_is_not_a_self_loop() {
         // `self.entries.clear()` inside `Cache::clear` must not become
-        // a resolved self-edge — the receiver is the field, not self.
+        // a resolved self-edge — the receiver is the Vec field, which
+        // the type model now proves external.
         let (files, g) = graph(&[(
             "crates/core/src/a.rs",
             "struct Cache { entries: Vec<u8> }\nimpl Cache {\n  \
@@ -337,10 +322,48 @@ mod tests {
         )]);
         let clear = id_of(&files, &g, "Cache::clear");
         assert!(g.callees[clear].is_empty());
+        assert!(g.ambiguous[clear].is_empty());
         assert!(g.recursive_components().is_empty());
-        // It still counts as an uncertain site and an ambiguous edge.
-        assert_eq!(g.ambiguous_sites, 1);
-        assert!(g.ambiguous[clear].contains(&clear));
+        // The name collides with a workspace fn, so the proof that the
+        // call leaves the workspace is counted as an External site.
+        assert_eq!(g.stats.external, 1);
+        assert_eq!(g.ambiguous_sites, 0);
+    }
+
+    #[test]
+    fn trait_bound_receivers_dispatch_over_implementors() {
+        let (files, g) = graph(&[(
+            "crates/core/src/a.rs",
+            "trait Overlay {\n  fn owner_of(&self) -> u64;\n}\n\
+             struct Ring;\nimpl Overlay for Ring {\n  fn owner_of(&self) -> u64 { 1 }\n}\n\
+             struct Star;\nimpl Overlay for Star {\n  fn owner_of(&self) -> u64 { 2 }\n}\n\
+             fn route<O: Overlay>(o: &O) { o.owner_of(); }\n",
+        )]);
+        let route = id_of(&files, &g, "route");
+        let ring = id_of(&files, &g, "Ring::owner_of");
+        let star = id_of(&files, &g, "Star::owner_of");
+        assert!(g.callees[route].is_empty());
+        assert!(g.dispatch[route].contains(&ring) && g.dispatch[route].contains(&star));
+        assert_eq!(g.stats.dispatch, 1);
+        assert_eq!(g.ambiguous_sites, 0);
+    }
+
+    #[test]
+    fn let_bindings_and_chained_calls_type_receivers() {
+        let (files, g) = graph(&[(
+            "crates/core/src/a.rs",
+            "struct Lab;\nimpl Lab {\n  fn pop(&mut self) {}\n}\n\
+             struct Engine { lab: Lab }\nimpl Engine {\n  fn lab(&mut self) -> Lab { Lab }\n}\n\
+             struct Other;\nimpl Other {\n  fn pop(&mut self) {}\n}\n\
+             fn run(e: &mut Engine) {\n  let l = e.lab();\n  l.pop();\n  e.lab().pop();\n}\n",
+        )]);
+        let run = id_of(&files, &g, "run");
+        let lab_pop = id_of(&files, &g, "Lab::pop");
+        let lab_fn = id_of(&files, &g, "Engine::lab");
+        assert!(g.callees[run].contains(&lab_pop));
+        assert!(g.callees[run].contains(&lab_fn));
+        assert!(g.ambiguous[run].is_empty());
+        assert_eq!(g.ambiguous_sites, 0);
     }
 
     #[test]

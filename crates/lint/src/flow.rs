@@ -34,7 +34,7 @@ pub const ENTRY_PREFIXES: &[&str] = &[
 ];
 
 /// RNG draw methods: a call to any of these is "drawing".
-const DRAW_METHODS: &[&str] = &[
+pub(crate) const DRAW_METHODS: &[&str] = &[
     "gen",
     "gen_range",
     "gen_bool",
@@ -59,8 +59,33 @@ pub struct FlowStats {
     pub functions: usize,
     /// Resolved call edges.
     pub resolved_edges: usize,
-    /// Call sites that resolved ambiguously.
+    /// Type-justified dispatch edges.
+    pub dispatch_edges: usize,
+    /// Call sites with a unique type-justified callee.
+    pub sites_resolved: usize,
+    /// Call sites with a type-justified dispatch set.
+    pub sites_dispatch: usize,
+    /// Call sites proven external despite workspace name collisions.
+    pub sites_external: usize,
+    /// Call sites that resolved ambiguously (name-based fallback).
     pub ambiguous_calls: usize,
+}
+
+impl FlowStats {
+    /// Total classified call sites.
+    pub fn sites_total(&self) -> usize {
+        self.sites_resolved + self.sites_dispatch + self.sites_external + self.ambiguous_calls
+    }
+
+    /// Share of sites with a type-justified outcome, in basis points
+    /// (integer, so the stat is byte-stable in reports).
+    pub fn resolution_rate_bp(&self) -> usize {
+        let total = self.sites_total();
+        if total == 0 {
+            return 10_000;
+        }
+        (total - self.ambiguous_calls) * 10_000 / total
+    }
 }
 
 /// Run the flow analysis over `(path, source)` pairs. Paths select
@@ -70,7 +95,7 @@ pub fn flow_files(inputs: &[(String, String)]) -> (Vec<Finding>, FlowStats) {
     let files: Vec<FileItems> = inputs
         .iter()
         .map(|(p, s)| parse_items(p, s))
-        .filter(|f| f.class.is_library && !f.class.exempt)
+        .filter(|f| crate::rules::flow_scope(&f.class))
         .collect();
     let graph = CallGraph::build(&files);
 
@@ -79,6 +104,7 @@ pub fn flow_files(inputs: &[(String, String)]) -> (Vec<Finding>, FlowStats) {
     rng_plumbing(&files, &graph, &mut findings);
     dropped_result(&files, &graph, &mut findings);
     recursion_bound(&files, &graph, &mut findings);
+    crate::protocol::check(&files, &graph, &mut findings);
     findings.sort();
     findings.dedup();
 
@@ -86,6 +112,10 @@ pub fn flow_files(inputs: &[(String, String)]) -> (Vec<Finding>, FlowStats) {
         files_scanned: files.len(),
         functions: graph.fns.len(),
         resolved_edges: graph.callees.iter().map(|c| c.len()).sum(),
+        dispatch_edges: graph.dispatch.iter().map(|c| c.len()).sum(),
+        sites_resolved: graph.stats.resolved,
+        sites_dispatch: graph.stats.dispatch,
+        sites_external: graph.stats.external,
         ambiguous_calls: graph.ambiguous_sites,
     };
     (findings, stats)
@@ -199,6 +229,7 @@ fn witness_chain(
         }
         let nexts: BTreeSet<FnId> = g.callees[v]
             .iter()
+            .chain(g.dispatch[v].iter())
             .chain(g.ambiguous[v].iter())
             .copied()
             .filter(|&w| tainted[w])
@@ -339,12 +370,23 @@ fn dropped_result(files: &[FileItems], g: &CallGraph, out: &mut Vec<Finding>) {
             // that over-approximates uses under shadowing, which can only
             // suppress findings, never fabricate them.
             if crate::rules::is_ident(&toks[j], "let") {
+                // `if let` / `while let` are pattern matches — the
+                // result IS being inspected, not dropped.
+                let conditional = j >= 1
+                    && matches!(&toks[j - 1].kind,
+                        Tok::Ident(k) if k == "if" || k == "while");
                 let mut p = j + 1;
                 if crate::rules::is_ident_at(toks, p, "mut") {
                     p += 1;
                 }
+                // A binding ident directly followed by `(` or `::` is a
+                // tuple-struct/enum pattern (`let Ok(x) = …`), not a
+                // name that could silently swallow the value.
+                let pattern = toks.get(p + 1).map(|t| &t.kind) == Some(&Tok::Punct('('))
+                    || (toks.get(p + 1).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                        && toks.get(p + 2).map(|t| &t.kind) == Some(&Tok::Punct(':')));
                 let simple_binding = match toks.get(p).map(|t| &t.kind) {
-                    Some(Tok::Ident(n)) => Some(n.clone()),
+                    Some(Tok::Ident(n)) if !conditional && !pattern => Some(n.clone()),
                     _ => None,
                 };
                 // Find the initializer's `=`, skipping an optional type
@@ -585,20 +627,36 @@ mod tests {
     }
 
     #[test]
-    fn test_code_and_exempt_crates_are_out_of_scope() {
+    fn test_code_and_tooling_crates_are_out_of_scope() {
         let (fs, stats) = run(&[
             (
                 "crates/core/src/a.rs",
                 "#[cfg(test)]\nmod tests {\n  fn t() { let mut r = X::new(); r.gen::<u8>(); }\n}\n",
             ),
             (
-                "crates/bench/src/b.rs",
+                "crates/lint/src/b.rs",
                 "fn owned() { let mut r = X::new(); r.gen::<u8>(); }\n",
             ),
         ]);
         assert!(fs.is_empty(), "{fs:#?}");
-        assert_eq!(stats.files_scanned, 1, "bench crate is exempt");
+        assert_eq!(
+            stats.files_scanned, 1,
+            "the lint crate is out of flow scope"
+        );
         assert_eq!(stats.functions, 0, "cfg(test) fns are out");
+    }
+
+    #[test]
+    fn bench_crate_is_in_flow_scope() {
+        // Bench was exempt before the dhs-types upgrade; its KPI
+        // emitters feed the gated trajectory, so flow rules apply now.
+        let (fs, stats) = run(&[(
+            "crates/bench/src/b.rs",
+            "fn owned() { let mut r = X::new(); r.gen::<u8>(); }\n",
+        )]);
+        assert_eq!(stats.files_scanned, 1);
+        assert_eq!(fs.len(), 1, "{fs:#?}");
+        assert_eq!(fs[0].rule, "rng-plumbing");
     }
 
     #[test]
@@ -614,15 +672,20 @@ mod tests {
     }
 
     #[test]
-    fn taint_propagates_through_ambiguous_method_calls() {
+    fn typed_receivers_cut_false_taint_pairings() {
+        // Pre-dhs-types both entries were flagged: `tick` resolved by
+        // name to {A::tick, B::tick} and the taint over-approximated.
         let (fs, stats) = run(&[(
             "crates/net/src/a.rs",
             "struct A;\nimpl A {\n  fn tick(&self) -> u64 { SystemTime::now() }\n}\n\
              struct B;\nimpl B {\n  fn tick(&self) -> u64 { 0 }\n}\n\
-             pub fn run_clock(a: &A) -> u64 { a.tick() }\n",
+             pub fn run_clock(a: &A) -> u64 { a.tick() }\n\
+             pub fn run_quiet(b: &B) -> u64 { b.tick() }\n",
         )]);
-        assert_eq!(stats.ambiguous_calls, 1);
+        assert_eq!(stats.ambiguous_calls, 0);
+        assert_eq!(stats.sites_resolved, 2);
         assert_eq!(fs.len(), 1, "{fs:#?}");
         assert_eq!(fs[0].rule, "entropy-taint");
+        assert_eq!(fs[0].line, 9);
     }
 }

@@ -20,12 +20,18 @@
 //!
 //! On top of that sits **dhs-flow** (`dhs-lint --flow`), an
 //! interprocedural layer: [`items`] parses `fn`/`impl` structure out
-//! of the token stream, [`callgraph`] resolves calls workspace-wide
-//! (with explicit ambiguity accounting), and [`flow`] runs fixpoint
-//! taint propagation plus whole-program rules: `entropy-taint`,
-//! `rng-plumbing`, `dropped-result`, `recursion-bound`. Escape
-//! hatches: `// dhs-flow: allow(<rule>)` and
-//! `// dhs-flow: cycle-ok(<reason>)`.
+//! of the token stream, [`types`] indexes struct fields, trait
+//! relations, and fn signatures into a head-only type model,
+//! [`resolve`] classifies every call site with receiver-type dispatch
+//! (resolved / dispatch / external / ambiguous), [`callgraph`]
+//! assembles the workspace graph from those sites, and [`flow`] runs
+//! fixpoint taint propagation plus whole-program rules:
+//! `entropy-taint`, `rng-plumbing`, `dropped-result`,
+//! `recursion-bound`, and the [`protocol`] pack
+//! (`protocol-submit-completion`, `protocol-inflight-effects`,
+//! `protocol-sync-exchange`) guarding the PR 8 submit/completion
+//! machine discipline. Escape hatches: `// dhs-flow: allow(<rule>)`
+//! and `// dhs-flow: cycle-ok(<reason>)`.
 //!
 //! Run it as `cargo run --release -p dhs-lint` from anywhere in the
 //! workspace; it exits non-zero when any finding survives.
@@ -37,11 +43,16 @@ pub mod callgraph;
 pub mod flow;
 pub mod items;
 pub mod lexer;
+pub mod protocol;
 pub mod report;
+pub mod resolve;
 pub mod rules;
+pub mod types;
 pub mod walk;
 
 pub use flow::{flow_files, FlowStats};
-pub use report::{render_flow_jsonl, render_jsonl};
+pub use report::{render_flow_jsonl, render_jsonl, render_stats};
 pub use rules::{classify, lint_source, FileClass, Finding, NameSet};
-pub use walk::{find_names_source, flow_workspace, lint_workspace, rust_sources};
+pub use walk::{
+    find_names_source, flow_workspace, lint_workspace, rust_sources, workspace_members,
+};

@@ -7,21 +7,26 @@
 //! dhs-lint                 # token rules over the enclosing workspace
 //! dhs-lint <dir>           # token rules over the workspace at <dir>
 //! dhs-lint --flow [dir]    # interprocedural flow rules instead
+//! dhs-lint --stats [dir]   # sorted call-resolution summary (the
+//!                          # baseline scripts/check.sh ratchets)
 //! ```
 //!
 //! Exit status: 0 when clean, 1 when any finding survives, 2 on I/O
-//! or usage errors.
+//! or usage errors. `--stats` always exits 0/2: the ratchet comparison
+//! lives in check.sh against the committed baseline file.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use dhs_lint::report::render_stats;
 use dhs_lint::walk::find_workspace_root;
 use dhs_lint::{flow_workspace, lint_workspace, render_flow_jsonl, render_jsonl};
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let flow = args.iter().any(|a| a == "--flow");
-    args.retain(|a| a != "--flow");
+    let stats_only = args.iter().any(|a| a == "--stats");
+    args.retain(|a| a != "--flow" && a != "--stats");
     let root = match args.as_slice() {
         [] => {
             // Prefer the manifest dir so `cargo run -p dhs-lint` works
@@ -39,12 +44,14 @@ fn main() -> ExitCode {
         }
         [dir] => PathBuf::from(dir),
         _ => {
-            eprintln!("usage: dhs-lint [--flow] [workspace-root]");
+            eprintln!("usage: dhs-lint [--flow | --stats] [workspace-root]");
             return ExitCode::from(2);
         }
     };
 
-    let rendered = if flow {
+    let rendered = if stats_only {
+        flow_workspace(&root).map(|(_, stats)| (render_stats(&stats), true))
+    } else if flow {
         flow_workspace(&root).map(|(findings, stats)| {
             let clean = findings.is_empty();
             (render_flow_jsonl(&findings, &stats), clean)

@@ -1,0 +1,513 @@
+//! The `protocol` rule pack: machine discipline for the PR 8
+//! submit/completion transport split.
+//!
+//! Rule catalog (ids are what `// dhs-flow: allow(<rule>)` takes):
+//!
+//! | id                           | guards against                                |
+//! |------------------------------|-----------------------------------------------|
+//! | `protocol-submit-completion` | a `CompletionLab::submit` call whose enclosing|
+//! |                              | fn never reaches a completion handler          |
+//! |                              | (`pop_seeded`/`pop_fifo`) — in-flight requests|
+//! |                              | silently dropped                               |
+//! | `protocol-inflight-effects`  | RNG draws or recorder/span calls between a    |
+//! |                              | submit and the next completion pop, outside   |
+//! |                              | the machine modules — such effects observe    |
+//! |                              | the completion *schedule* and break the        |
+//! |                              | order-invariance proof                         |
+//! | `protocol-sync-exchange`     | new replay-path code calling the legacy       |
+//! |                              | synchronous `Transport::exchange` /            |
+//! |                              | `routed_exchange` / `with_retry` surface      |
+//! |                              | directly instead of going through             |
+//! |                              | `exec_send`/the machines                       |
+//!
+//! The pack keys off the *typed* call graph: a submit/pop/exchange site
+//! counts only when [`crate::resolve`] proves its candidates intersect
+//! the real protocol surface (fns defined in the machine modules, or
+//! the `Transport` family), so a fixture's unrelated `submit` method
+//! does not trip it. Scope: replay-path library crates; paths are
+//! compared with the `fixtures/` prefix stripped, like
+//! [`crate::rules::classify`], so fixture corpora can seed violations
+//! against their own stand-in machine modules.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::{CallGraph, FnId};
+use crate::items::FileItems;
+use crate::lexer::{Tok, Token};
+use crate::resolve::SiteKind;
+use crate::rules::Finding;
+use crate::types::matching_paren;
+
+/// Modules that *are* the machine implementation: they may hold
+/// in-flight effects and are where submit/pop live.
+pub const MACHINE_MODULES: &[&str] = &["crates/core/src/machine.rs", "crates/par/src/lab.rs"];
+
+/// Modules allowed to call the synchronous `Transport` surface
+/// directly: the machine executor (`exec_send`) and the transport
+/// decorators themselves.
+pub const EXCHANGE_MODULES: &[&str] =
+    &["crates/core/src/machine.rs", "crates/core/src/transport.rs"];
+
+/// Completion-handler names on the machine surface.
+const POP_METHODS: &[&str] = &["pop_seeded", "pop_fifo"];
+
+/// The legacy synchronous exchange surface.
+const SYNC_EXCHANGE: &[&str] = &["exchange", "routed_exchange"];
+
+/// Strip any `fixtures/` routing prefix, like [`crate::rules::classify`].
+fn strip(path: &str) -> &str {
+    match path.rfind("fixtures/") {
+        Some(i) => &path[i + "fixtures/".len()..],
+        None => path,
+    }
+}
+
+/// Run the protocol pack over the typed call graph.
+pub fn check(files: &[FileItems], g: &CallGraph, out: &mut Vec<Finding>) {
+    let in_machine: Vec<bool> = g
+        .fns
+        .iter()
+        .map(|r| MACHINE_MODULES.contains(&strip(&files[r.file].path)))
+        .collect();
+    let in_exchange: Vec<bool> = g
+        .fns
+        .iter()
+        .map(|r| EXCHANGE_MODULES.contains(&strip(&files[r.file].path)))
+        .collect();
+    let replay: Vec<bool> = g
+        .fns
+        .iter()
+        .map(|r| crate::rules::replay_scope(&files[r.file].class.crate_name))
+        .collect();
+
+    // The protocol surface, identified by *definition site*: submit and
+    // pop methods are only the ones the machine modules define.
+    let mut submit_fns = BTreeSet::new();
+    let mut pop_fns = BTreeSet::new();
+    for (id, r) in g.fns.iter().enumerate() {
+        let f = &files[r.file].fns[r.item];
+        if in_machine[id] && f.name == "submit" {
+            submit_fns.insert(id);
+        }
+        if in_machine[id] && POP_METHODS.contains(&f.name.as_str()) {
+            pop_fns.insert(id);
+        }
+    }
+    // The Transport family: the trait's own exchange decls plus every
+    // implementor's, and the free retry wrapper.
+    let transport_impls = g.types.impls_of.get("Transport");
+    let mut exchange_fns = BTreeSet::new();
+    let mut retry_fns = BTreeSet::new();
+    for (id, r) in g.fns.iter().enumerate() {
+        let f = &files[r.file].fns[r.item];
+        if SYNC_EXCHANGE.contains(&f.name.as_str()) {
+            let of_family = f.self_type.as_deref() == Some("Transport")
+                || f.self_type
+                    .as_deref()
+                    .is_some_and(|t| transport_impls.is_some_and(|s| s.contains(t)));
+            if of_family {
+                exchange_fns.insert(id);
+            }
+        }
+        if f.name == "with_retry" && in_exchange[id] {
+            retry_fns.insert(id);
+        }
+    }
+
+    if !submit_fns.is_empty() {
+        submit_completion(files, g, &submit_fns, &pop_fns, &replay, out);
+        inflight_effects(files, g, &submit_fns, &pop_fns, &in_machine, &replay, out);
+    }
+    if !exchange_fns.is_empty() || !retry_fns.is_empty() {
+        sync_exchange(
+            files,
+            g,
+            &exchange_fns,
+            &retry_fns,
+            &in_exchange,
+            &replay,
+            out,
+        );
+    }
+}
+
+/// Does this site provably (Resolved/Dispatch) call into `surface`?
+fn typed_hit(site: &crate::resolve::CallSite, surface: &BTreeSet<FnId>) -> bool {
+    matches!(site.kind, SiteKind::Resolved | SiteKind::Dispatch)
+        && site.candidates.iter().any(|c| surface.contains(c))
+}
+
+/// Any-kind candidate intersection — the over-approximating direction,
+/// used only where it *suppresses* findings (coverage, window ends).
+fn loose_hit(site: &crate::resolve::CallSite, surface: &BTreeSet<FnId>) -> bool {
+    site.candidates.iter().any(|c| surface.contains(c))
+}
+
+fn report(
+    files: &[FileItems],
+    g: &CallGraph,
+    id: FnId,
+    tok: usize,
+    rule: &'static str,
+    out: &mut Vec<Finding>,
+) {
+    let r = g.fns[id];
+    let file = &files[r.file];
+    let f = &file.fns[r.item];
+    if f.allows(rule) {
+        return;
+    }
+    let line = file.tokens[tok].line;
+    if let Some(rules) = file.flow_allows.get(&line) {
+        if rules.contains(rule) {
+            return;
+        }
+    }
+    let snippet = file
+        .lines
+        .get(line as usize - 1)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default();
+    out.push(Finding {
+        path: file.path.clone(),
+        line,
+        rule,
+        snippet,
+    });
+}
+
+// ---------------------------------------------------------------------
+// protocol-submit-completion
+// ---------------------------------------------------------------------
+
+/// Every fn performing a typed submit must itself reach a completion
+/// pop (directly or through calls), or be reachable from one that does
+/// — otherwise the in-flight request leaks.
+fn submit_completion(
+    files: &[FileItems],
+    g: &CallGraph,
+    submit_fns: &BTreeSet<FnId>,
+    pop_fns: &BTreeSet<FnId>,
+    replay: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    let n = g.fns.len();
+    // Fns with a direct pop site (any kind — over-approximation only
+    // suppresses findings here).
+    let mut reaches_pop = vec![false; n];
+    for site in &g.sites {
+        if loose_hit(site, pop_fns) {
+            reaches_pop[site.caller] = true;
+        }
+    }
+    // Backward: a caller of a pop-reaching fn reaches the pop too.
+    let rev = g.reverse_over_approx();
+    let mut work: Vec<FnId> = (0..n).filter(|&i| reaches_pop[i]).collect();
+    while let Some(v) = work.pop() {
+        for &caller in &rev[v] {
+            if !reaches_pop[caller] {
+                reaches_pop[caller] = true;
+                work.push(caller);
+            }
+        }
+    }
+    // Forward: a fn invoked from a covered caller is covered — the
+    // caller pops after it returns (`run` popping what `step_op`
+    // submitted).
+    let fwd = g.forward_over_approx();
+    let mut covered = reaches_pop;
+    let mut work: Vec<FnId> = (0..n).filter(|&i| covered[i]).collect();
+    while let Some(v) = work.pop() {
+        for &callee in &fwd[v] {
+            if !covered[callee] {
+                covered[callee] = true;
+                work.push(callee);
+            }
+        }
+    }
+
+    for site in &g.sites {
+        if !replay[site.caller] || !typed_hit(site, submit_fns) {
+            continue;
+        }
+        if covered[site.caller] {
+            continue;
+        }
+        report(
+            files,
+            g,
+            site.caller,
+            site.tok,
+            "protocol-submit-completion",
+            out,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// protocol-inflight-effects
+// ---------------------------------------------------------------------
+
+/// Between a submit and the next completion pop in the same body,
+/// non-machine code must not draw RNG or record metrics/spans: those
+/// effects would observe the completion schedule, which the machines'
+/// order-invariance proof says is unobservable.
+fn inflight_effects(
+    files: &[FileItems],
+    g: &CallGraph,
+    submit_fns: &BTreeSet<FnId>,
+    pop_fns: &BTreeSet<FnId>,
+    in_machine: &[bool],
+    replay: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    // Group sites per caller once; sites are already in (fn, token)
+    // order.
+    for (id, r) in g.fns.iter().enumerate() {
+        if in_machine[id] || !replay[id] {
+            continue;
+        }
+        let file = &files[r.file];
+        let f = &file.fns[r.item];
+        let Some((_, close)) = f.body else { continue };
+        let toks = &file.tokens;
+        let submits: Vec<usize> = g
+            .sites
+            .iter()
+            .filter(|s| s.caller == id && typed_hit(s, submit_fns))
+            .map(|s| s.tok)
+            .collect();
+        if submits.is_empty() {
+            continue;
+        }
+        let pops: Vec<usize> = g
+            .sites
+            .iter()
+            .filter(|s| s.caller == id && loose_hit(s, pop_fns))
+            .map(|s| s.tok)
+            .collect();
+        for &sub in &submits {
+            let start = matching_paren(toks, sub + 1).unwrap_or(sub);
+            let end = pops
+                .iter()
+                .copied()
+                .filter(|&p| p > start)
+                .min()
+                .unwrap_or(close);
+            for j in start + 1..end {
+                if is_draw_at(toks, j) || is_recorder_at(toks, j) {
+                    report(files, g, id, j, "protocol-inflight-effects", out);
+                }
+            }
+        }
+    }
+}
+
+/// `.gen(` / `.gen_range(` / `.gen::<T>(` … at token `j`.
+fn is_draw_at(toks: &[Token], j: usize) -> bool {
+    let Tok::Ident(m) = &toks[j].kind else {
+        return false;
+    };
+    if !crate::flow::DRAW_METHODS.contains(&m.as_str()) {
+        return false;
+    }
+    if j == 0 || toks[j - 1].kind != Tok::Punct('.') {
+        return false;
+    }
+    match toks.get(j + 1).map(|t| &t.kind) {
+        Some(Tok::Punct('(')) => true,
+        Some(Tok::Punct(':')) => toks.get(j + 2).map(|t| &t.kind) == Some(&Tok::Punct(':')),
+        _ => false,
+    }
+}
+
+/// A recorder/span call at token `j` (`incr(`, `observe(`,
+/// `start_span(`, `end_span(`, …).
+fn is_recorder_at(toks: &[Token], j: usize) -> bool {
+    let Tok::Ident(m) = &toks[j].kind else {
+        return false;
+    };
+    (crate::rules::RECORDER_CALLS.contains(&m.as_str()) || m == "end_span")
+        && toks.get(j + 1).map(|t| &t.kind) == Some(&Tok::Punct('('))
+}
+
+// ---------------------------------------------------------------------
+// protocol-sync-exchange
+// ---------------------------------------------------------------------
+
+/// Replay-path code outside the approved modules must not call the
+/// synchronous `Transport` surface directly — new protocol logic goes
+/// through the machines (`exec_send`). Method sites count when their
+/// name is on the legacy surface and the receiver is not proven
+/// external; `with_retry` counts when it resolves to the workspace
+/// wrapper.
+fn sync_exchange(
+    files: &[FileItems],
+    g: &CallGraph,
+    exchange_fns: &BTreeSet<FnId>,
+    retry_fns: &BTreeSet<FnId>,
+    in_exchange: &[bool],
+    replay: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    for site in &g.sites {
+        if in_exchange[site.caller] || !replay[site.caller] {
+            continue;
+        }
+        let legacy = (SYNC_EXCHANGE.contains(&site.name.as_str())
+            && site.kind != SiteKind::External
+            && loose_hit(site, exchange_fns))
+            || loose_hit(site, retry_fns);
+        if legacy {
+            report(
+                files,
+                g,
+                site.caller,
+                site.tok,
+                "protocol-sync-exchange",
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::flow::flow_files;
+    use crate::rules::Finding;
+
+    /// A minimal machine-module stand-in: `CompletionLab` with
+    /// submit/pop, in the lab path so the pack recognizes the surface.
+    const LAB: &str = "pub struct CompletionLab { n: u64 }\n\
+        impl CompletionLab {\n  \
+        pub fn submit(&mut self, tag: u32) { self.n += tag as u64; }\n  \
+        pub fn pop_seeded(&mut self) -> u64 { self.n }\n  \
+        pub fn pop_fifo(&mut self) -> u64 { self.n }\n}\n";
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        let (fs, _) = flow_files(&owned);
+        fs.into_iter()
+            .filter(|f| f.rule.starts_with("protocol-"))
+            .collect()
+    }
+
+    #[test]
+    fn submit_without_pop_anywhere_is_a_leak() {
+        let fs = run(&[
+            ("crates/par/src/lab.rs", LAB),
+            (
+                "crates/par/src/fire.rs",
+                "use crate::CompletionLab;\n\
+                 pub fn fire(lab: &mut CompletionLab) { lab.submit(1); }\n",
+            ),
+        ]);
+        assert_eq!(fs.len(), 1, "{fs:#?}");
+        assert_eq!(fs[0].rule, "protocol-submit-completion");
+        assert_eq!(fs[0].path, "crates/par/src/fire.rs");
+    }
+
+    #[test]
+    fn submit_popped_by_caller_is_covered() {
+        let fs = run(&[
+            ("crates/par/src/lab.rs", LAB),
+            (
+                "crates/par/src/drive.rs",
+                "use crate::CompletionLab;\n\
+                 fn step(lab: &mut CompletionLab) { lab.submit(1); }\n\
+                 pub fn drive(lab: &mut CompletionLab) {\n  \
+                 step(lab);\n  while lab.pop_fifo() > 0 {}\n}\n",
+            ),
+        ]);
+        assert!(fs.is_empty(), "{fs:#?}");
+    }
+
+    #[test]
+    fn effects_between_submit_and_pop_are_flagged() {
+        let fs = run(&[
+            ("crates/par/src/lab.rs", LAB),
+            (
+                "crates/par/src/drive.rs",
+                "use crate::CompletionLab;\n\
+                 pub fn drive(lab: &mut CompletionLab, rng: &mut impl Rng, m: &mut Recorder) {\n  \
+                 lab.submit(1);\n  let jitter = rng.gen_range(0..4);\n  \
+                 m.incr(\"x\", jitter);\n  lab.pop_seeded();\n  \
+                 m.incr(\"x\", 1);\n}\n",
+            ),
+        ]);
+        let rules: Vec<&str> = fs.iter().map(|f| f.rule).collect();
+        // The draw and the recorder call inside the window fire; the
+        // incr after the pop does not.
+        assert_eq!(
+            rules,
+            vec!["protocol-inflight-effects", "protocol-inflight-effects"],
+            "{fs:#?}"
+        );
+        assert_eq!(fs[0].line, 4);
+        assert_eq!(fs[1].line, 5);
+    }
+
+    #[test]
+    fn machine_modules_may_hold_inflight_effects() {
+        let fs = run(&[(
+            "crates/par/src/lab.rs",
+            &format!(
+                "{LAB}\
+                 pub fn drive_store_ooo(lab: &mut CompletionLab, rng: &mut impl Rng) {{\n  \
+                 lab.submit(1);\n  let j = rng.gen_range(0..4);\n  lab.pop_seeded();\n}}\n"
+            ),
+        )]);
+        assert!(fs.is_empty(), "{fs:#?}");
+    }
+
+    #[test]
+    fn sync_exchange_outside_approved_modules_is_flagged() {
+        let fs = run(&[
+            (
+                "crates/core/src/transport.rs",
+                "pub trait Transport {\n  fn exchange(&mut self, a: u64) -> u64;\n}\n\
+                 pub fn with_retry(n: u64) -> u64 { n }\n",
+            ),
+            (
+                "crates/dht/src/probe.rs",
+                "pub fn probe<T: Transport>(t: &mut T) -> u64 {\n  \
+                 let a = t.exchange(1);\n  a + with_retry(2)\n}\n",
+            ),
+            (
+                "crates/core/src/machine.rs",
+                "pub fn exec_send<T: Transport>(t: &mut T) -> u64 { t.exchange(7) }\n",
+            ),
+        ]);
+        let lines: Vec<(String, u32)> = fs.iter().map(|f| (f.path.clone(), f.line)).collect();
+        assert!(
+            fs.iter().all(|f| f.rule == "protocol-sync-exchange"),
+            "{fs:#?}"
+        );
+        // Both the direct exchange and the retry wrapper in dht fire;
+        // exec_send in the approved module does not.
+        assert_eq!(
+            lines,
+            vec![
+                ("crates/dht/src/probe.rs".to_string(), 2),
+                ("crates/dht/src/probe.rs".to_string(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn allow_directives_silence_protocol_rules() {
+        let fs = run(&[
+            ("crates/par/src/lab.rs", LAB),
+            (
+                "crates/par/src/fire.rs",
+                "use crate::CompletionLab;\n\
+                 // dhs-flow: allow(protocol-submit-completion) — drained by the bench harness\n\
+                 pub fn fire(lab: &mut CompletionLab) { lab.submit(1); }\n",
+            ),
+        ]);
+        assert!(fs.is_empty(), "{fs:#?}");
+    }
+}

@@ -50,13 +50,42 @@ pub fn render_flow_jsonl(findings: &[Finding], stats: &FlowStats) -> String {
         ));
     }
     out.push_str(&format!(
-        "{{\"files_scanned\":{},\"functions\":{},\"resolved_edges\":{},\"ambiguous_calls\":{},\"findings\":{}}}\n",
+        "{{\"files_scanned\":{},\"functions\":{},\"resolved_edges\":{},\"dispatch_edges\":{},\
+         \"sites_resolved\":{},\"sites_dispatch\":{},\"sites_external\":{},\"ambiguous_calls\":{},\
+         \"resolution_rate_bp\":{},\"findings\":{}}}\n",
         stats.files_scanned,
         stats.functions,
         stats.resolved_edges,
+        stats.dispatch_edges,
+        stats.sites_resolved,
+        stats.sites_dispatch,
+        stats.sites_external,
         stats.ambiguous_calls,
+        stats.resolution_rate_bp(),
         findings.len()
     ));
+    out
+}
+
+/// Render the sorted `key value` resolution summary for
+/// `dhs-lint --stats` — the format `scripts/check.sh` ratchets against
+/// the committed baseline.
+pub fn render_stats(stats: &FlowStats) -> String {
+    let mut lines = vec![
+        format!("ambiguous_calls {}", stats.ambiguous_calls),
+        format!("dispatch_edges {}", stats.dispatch_edges),
+        format!("files_scanned {}", stats.files_scanned),
+        format!("functions {}", stats.functions),
+        format!("resolution_rate_bp {}", stats.resolution_rate_bp()),
+        format!("resolved_edges {}", stats.resolved_edges),
+        format!("sites_dispatch {}", stats.sites_dispatch),
+        format!("sites_external {}", stats.sites_external),
+        format!("sites_resolved {}", stats.sites_resolved),
+        format!("sites_total {}", stats.sites_total()),
+    ];
+    lines.sort();
+    let mut out = lines.join("\n");
+    out.push('\n');
     out
 }
 
@@ -163,6 +192,10 @@ mod tests {
             files_scanned: 5,
             functions: 12,
             resolved_edges: 9,
+            dispatch_edges: 3,
+            sites_resolved: 10,
+            sites_dispatch: 4,
+            sites_external: 4,
             ambiguous_calls: 2,
         };
         let out = render_flow_jsonl(&[finding("a.rs", 1, "rng-plumbing")], &stats);
@@ -170,8 +203,33 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[1],
-            "{\"files_scanned\":5,\"functions\":12,\"resolved_edges\":9,\
-             \"ambiguous_calls\":2,\"findings\":1}"
+            "{\"files_scanned\":5,\"functions\":12,\"resolved_edges\":9,\"dispatch_edges\":3,\
+             \"sites_resolved\":10,\"sites_dispatch\":4,\"sites_external\":4,\"ambiguous_calls\":2,\
+             \"resolution_rate_bp\":9000,\"findings\":1}"
         );
+    }
+
+    #[test]
+    fn stats_lines_are_sorted_key_value_pairs() {
+        let stats = FlowStats {
+            files_scanned: 5,
+            functions: 12,
+            resolved_edges: 9,
+            dispatch_edges: 3,
+            sites_resolved: 10,
+            sites_dispatch: 4,
+            sites_external: 4,
+            ambiguous_calls: 2,
+        };
+        let out = render_stats(&stats);
+        let lines: Vec<&str> = out.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+        assert!(lines.contains(&"ambiguous_calls 2"));
+        assert!(lines.contains(&"resolution_rate_bp 9000"));
+        assert!(lines.contains(&"sites_total 20"));
+        // Byte-identical across renders — check.sh cmp's two runs.
+        assert_eq!(out, render_stats(&stats));
     }
 }

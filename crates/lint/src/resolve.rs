@@ -1,0 +1,1149 @@
+//! Receiver-typed call-site resolution over [`crate::types`].
+//!
+//! For every call site in a fn body the resolver classifies the call as
+//! one of four [`SiteKind`]s:
+//!
+//! * **Resolved** — exactly one workspace candidate, justified by the
+//!   receiver type (or a unique free/path-qualified match).
+//! * **Dispatch** — a type-justified multi-candidate set: a trait-bound
+//!   receiver dispatching over the trait's implementors, or a type name
+//!   defined in several impl blocks/crates.
+//! * **External** — the receiver type is known and no workspace method
+//!   applies (`Vec::push`, `BTreeMap::get`, `Rng::gen_range`); the
+//!   name-based candidates the old graph would have guessed are proven
+//!   out-of-workspace. Only counted when such name collisions exist —
+//!   plain std calls stay invisible, as before.
+//! * **Ambiguous** — the receiver type could not be inferred; falls
+//!   back to the old name-based candidate set.
+//!
+//! Receiver types come from, in order: `self` (the enclosing impl),
+//! signature params ([`crate::types::FnSig`]), single-assignment `let`
+//! bindings (explicit annotations, constructor calls, struct literals,
+//! call-return types), struct field chains (`self.cfg.estimator`), and
+//! method-call chains (`engine.lab().pop_fifo()`). Anything else stays
+//! `Unknown` — the resolver never guesses, so every collapsed edge is
+//! type-justified.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::{FnId, FnRef};
+use crate::items::{is_call_at, is_keyword, FileItems};
+use crate::lexer::{Tok, Token};
+use crate::types::{matching_paren, parse_type_head, FnSig, TypeIndex, TypeRef};
+
+/// How a call site resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// Exactly one type-justified workspace callee.
+    Resolved,
+    /// A type-justified multi-candidate set (trait dispatch).
+    Dispatch,
+    /// Typed receiver, no workspace callee — name collisions collapsed.
+    External,
+    /// Unknown receiver; name-based candidate fallback.
+    Ambiguous,
+}
+
+/// One classified call site.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The calling fn.
+    pub caller: FnId,
+    /// Token index of the call head ident in the caller's file.
+    pub tok: usize,
+    /// The called name.
+    pub name: String,
+    /// How it resolved.
+    pub kind: SiteKind,
+    /// Candidate callees (empty for `External`).
+    pub candidates: Vec<FnId>,
+}
+
+/// Site counts per [`SiteKind`], for the resolution-rate ratchet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolutionStats {
+    /// Sites with a unique type-justified callee.
+    pub resolved: usize,
+    /// Sites with a type-justified dispatch set.
+    pub dispatch: usize,
+    /// Sites proven external despite workspace name collisions.
+    pub external: usize,
+    /// Sites still on the name-based fallback.
+    pub ambiguous: usize,
+}
+
+/// Recursion limit for chained-call return typing.
+const CHAIN_DEPTH: usize = 8;
+
+/// Per-file name-resolution scope parsed from `use` declarations:
+/// which terminal names are imported (with the penultimate path
+/// segment as a module hint) and whether glob imports are present.
+#[derive(Debug, Default)]
+struct FileScope {
+    /// Imported terminal name → penultimate path segments.
+    imports: BTreeMap<String, Vec<String>>,
+    /// Penultimate segments of `use …::*` globs.
+    glob_hints: Vec<String>,
+    /// Any glob import present (disables the not-in-scope proof).
+    has_glob: bool,
+}
+
+/// The per-build resolver: borrowed tables plus the name fallback.
+pub(crate) struct Resolver<'a> {
+    files: &'a [FileItems],
+    fns: &'a [FnRef],
+    index: &'a TypeIndex,
+    by_name: BTreeMap<&'a str, Vec<FnId>>,
+    /// Parallel to `files`: parsed import scopes.
+    scopes: Vec<FileScope>,
+    /// Parallel to `files`: `(crate name, module stem)` for hints.
+    meta: Vec<(String, String)>,
+}
+
+impl<'a> Resolver<'a> {
+    pub(crate) fn new(files: &'a [FileItems], fns: &'a [FnRef], index: &'a TypeIndex) -> Self {
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (id, r) in fns.iter().enumerate() {
+            let f = &files[r.file].fns[r.item];
+            by_name.entry(&f.name).or_default().push(id);
+        }
+        let scopes = files.iter().map(|f| parse_uses(&f.tokens)).collect();
+        let meta = files
+            .iter()
+            .map(|f| {
+                let class = crate::rules::classify(&f.path);
+                (class.crate_name, module_stem(&f.path))
+            })
+            .collect();
+        Resolver {
+            files,
+            fns,
+            index,
+            by_name,
+            scopes,
+            meta,
+        }
+    }
+
+    /// Classify every call site in `id`'s body.
+    pub(crate) fn resolve_fn(&self, id: FnId) -> Vec<CallSite> {
+        let r = self.fns[id];
+        let file = &self.files[r.file];
+        let f = &file.fns[r.item];
+        let Some((open, close)) = f.body else {
+            return Vec::new();
+        };
+        let toks = &file.tokens;
+        let sig = &self.index.sigs[id];
+        let scope = self.build_scope(toks, open, close, sig, f.self_type.as_deref());
+        let mut out = Vec::new();
+        for j in open + 1..close {
+            if !is_call_at(toks, j) {
+                continue;
+            }
+            let Tok::Ident(name) = &toks[j].kind else {
+                continue;
+            };
+            if let Some((kind, candidates)) = self.classify(
+                toks,
+                j,
+                name,
+                r.file,
+                f.self_type.as_deref(),
+                &scope,
+                sig,
+                0,
+            ) {
+                out.push(CallSite {
+                    caller: id,
+                    tok: j,
+                    name: name.clone(),
+                    kind,
+                    candidates,
+                });
+            }
+        }
+        out
+    }
+
+    // -- scope ---------------------------------------------------------
+
+    /// Param types plus single-assignment `let` bindings. Conflicting
+    /// re-bindings of a name poison it to `Unknown`.
+    fn build_scope(
+        &self,
+        toks: &[Token],
+        open: usize,
+        close: usize,
+        sig: &FnSig,
+        self_type: Option<&str>,
+    ) -> BTreeMap<String, TypeRef> {
+        let mut scope: BTreeMap<String, TypeRef> = BTreeMap::new();
+        for (name, ty) in &sig.params {
+            scope.insert(name.clone(), ty.clone());
+        }
+        let mut j = open + 1;
+        while j < close {
+            if !crate::rules::is_ident(&toks[j], "let") {
+                j += 1;
+                continue;
+            }
+            let mut p = j + 1;
+            if crate::rules::is_ident_at(toks, p, "mut") {
+                p += 1;
+            }
+            let name = match toks.get(p).map(|t| &t.kind) {
+                Some(Tok::Ident(n)) if !is_keyword(&toks[p]) => n.clone(),
+                _ => {
+                    j += 1;
+                    continue;
+                }
+            };
+            // `let Some(x) = …` patterns slip through as name "Some";
+            // they bind nothing useful and poison nothing real.
+            let mut ty = TypeRef::Unknown;
+            let mut q = p + 1;
+            if toks.get(q).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                && toks.get(q + 1).map(|t| &t.kind) != Some(&Tok::Punct(':'))
+            {
+                // Explicit annotation wins.
+                ty = parse_type_head(toks, q + 1, &sig.bounds);
+                while q < close && !matches!(toks[q].kind, Tok::Punct('=') | Tok::Punct(';')) {
+                    q += 1;
+                }
+            }
+            if ty == TypeRef::Unknown {
+                // Walk to the `=` (bail on `;`/`{` first — not a simple
+                // initialized binding).
+                while q < close {
+                    match toks[q].kind {
+                        Tok::Punct('=') => break,
+                        Tok::Punct(';') | Tok::Punct('{') => {
+                            q = close;
+                            break;
+                        }
+                        _ => q += 1,
+                    }
+                }
+                if q < close {
+                    ty = self.eval_init(toks, q + 1, close, self_type, &scope, sig);
+                }
+            }
+            if let TypeRef::SelfTy = ty {
+                ty = self_named(self_type);
+            }
+            match scope.get(&name) {
+                Some(prev) if *prev != ty => {
+                    scope.insert(name, TypeRef::Unknown);
+                }
+                _ => {
+                    scope.insert(name, ty);
+                }
+            }
+            j = p + 1;
+        }
+        scope
+    }
+
+    /// Type of a `let` initializer: the expression from `from` to its
+    /// terminating `;`. A `?` anywhere at top level makes it `Unknown`
+    /// (the binding would be the unwrapped Ok type, which this model
+    /// does not track).
+    fn eval_init(
+        &self,
+        toks: &[Token],
+        from: usize,
+        close: usize,
+        self_type: Option<&str>,
+        scope: &BTreeMap<String, TypeRef>,
+        sig: &FnSig,
+    ) -> TypeRef {
+        let mut end = from;
+        let mut depth = 0i32;
+        while end < close {
+            match toks[end].kind {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                Tok::Punct(';') if depth <= 0 => break,
+                Tok::Punct('?') if depth == 0 => return TypeRef::Unknown,
+                _ => {}
+            }
+            end += 1;
+        }
+        self.eval_value(toks, from, end, self_type, scope, sig, 0)
+    }
+
+    /// Type of the value expression in `[from, end)`: a primary
+    /// (local/`self`/path call/struct literal) followed by
+    /// `.field`/`.method()` chain segments.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_value(
+        &self,
+        toks: &[Token],
+        from: usize,
+        end: usize,
+        self_type: Option<&str>,
+        scope: &BTreeMap<String, TypeRef>,
+        _sig: &FnSig,
+        depth: usize,
+    ) -> TypeRef {
+        if depth > CHAIN_DEPTH {
+            return TypeRef::Unknown;
+        }
+        let mut i = from;
+        while i < end {
+            match &toks[i].kind {
+                Tok::Punct('&') | Tok::Lifetime => i += 1,
+                Tok::Ident(s) if s == "mut" => i += 1,
+                _ => break,
+            }
+        }
+        if i >= end {
+            return TypeRef::Unknown;
+        }
+        // Primary.
+        let (mut ty, mut next) = match &toks[i].kind {
+            Tok::Ident(s) if s == "self" => (self_named(self_type), i + 1),
+            Tok::Ident(_)
+                if is_keyword(&toks[i])
+                    && !matches!(&toks[i].kind, Tok::Ident(k) if k == "Self") =>
+            {
+                return TypeRef::Unknown;
+            }
+            Tok::Str(_) | Tok::Num | Tok::Char => (TypeRef::Named("#lit".to_string()), i + 1),
+            Tok::Punct('(') => {
+                // Parenthesized group: trust the contents' type only
+                // when it is primitive (binary arithmetic is closed
+                // over primitives; anything richer could be a partial
+                // read of an operator expression).
+                let close = match matching_paren(toks, i) {
+                    Some(c) => c,
+                    None => return TypeRef::Unknown,
+                };
+                let inner = self.eval_value(toks, i + 1, close, self_type, scope, _sig, depth + 1);
+                match &inner {
+                    TypeRef::Named(h) if is_primitive(h) => (inner.clone(), close + 1),
+                    _ => return TypeRef::Unknown,
+                }
+            }
+            Tok::Ident(s) if toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct('!')) => {
+                // The handful of std macros with useful value types.
+                let ty = match s.as_str() {
+                    "vec" => TypeRef::Wraps(String::new()),
+                    "format" => TypeRef::Named("String".to_string()),
+                    "concat" | "stringify" | "env" | "include_str" => {
+                        TypeRef::Named("#lit".to_string())
+                    }
+                    _ => return TypeRef::Unknown,
+                };
+                let after = match toks.get(i + 2).map(|t| &t.kind) {
+                    Some(Tok::Punct(o @ ('(' | '[' | '{'))) => {
+                        match matching_delim(toks, i + 2, *o) {
+                            Some(c) => c + 1,
+                            None => return TypeRef::Unknown,
+                        }
+                    }
+                    _ => return TypeRef::Unknown,
+                };
+                (ty, after)
+            }
+            Tok::Ident(s) => {
+                let is_path = toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                    && toks.get(i + 2).map(|t| &t.kind) == Some(&Tok::Punct(':'));
+                if is_path {
+                    self.eval_path_primary(toks, i, end, self_type, depth)
+                } else if toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct('(')) {
+                    // Free call (or tuple-struct constructor).
+                    let after = matching_paren(toks, i + 1).map_or(end, |c| c + 1);
+                    (self.free_call_ret(s, self_type), after)
+                } else if toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct('{'))
+                    && (self.index.types.contains(s.as_str()))
+                {
+                    // Struct literal; skip the brace block.
+                    let mut d = 0i32;
+                    let mut k = i + 1;
+                    while k < end {
+                        match toks[k].kind {
+                            Tok::Punct('{') => d += 1,
+                            Tok::Punct('}') => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    (TypeRef::Named(s.clone()), k + 1)
+                } else if s == "Self" {
+                    (self_named(self_type), i + 1)
+                } else {
+                    (scope.get(s.as_str()).cloned().unwrap_or_default(), i + 1)
+                }
+            }
+            _ => return TypeRef::Unknown,
+        };
+        if let TypeRef::SelfTy = ty {
+            ty = self_named(self_type);
+        }
+        // Chain: `.field` / `.method(args)` segments.
+        let mut k = next;
+        while k + 1 < end {
+            if toks[k].kind != Tok::Punct('.') {
+                break;
+            }
+            let Some(Tok::Ident(seg)) = toks.get(k + 1).map(|t| &t.kind) else {
+                break;
+            };
+            if toks.get(k + 2).map(|t| &t.kind) == Some(&Tok::Punct('(')) {
+                ty = self.method_ret(&ty, seg, depth + 1);
+                k = matching_paren(toks, k + 2).map_or(end, |c| c + 1);
+            } else {
+                ty = self.index.field_type(&ty, seg);
+                k += 2;
+            }
+            if ty == TypeRef::Unknown {
+                return TypeRef::Unknown;
+            }
+        }
+        next = k;
+        let _ = next;
+        ty
+    }
+
+    /// Primary of the form `a::b::C::name…`: an associated call
+    /// (`Type::method(…)` → its return type, or the constructor
+    /// heuristic for external types), or an unresolvable const path.
+    fn eval_path_primary(
+        &self,
+        toks: &[Token],
+        i: usize,
+        end: usize,
+        self_type: Option<&str>,
+        depth: usize,
+    ) -> (TypeRef, usize) {
+        // Collect the path segments.
+        let mut segs: Vec<String> = Vec::new();
+        let mut k = i;
+        while let Some(Tok::Ident(s)) = toks.get(k).map(|t| &t.kind) {
+            segs.push(s.clone());
+            if toks.get(k + 1).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                && toks.get(k + 2).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+            {
+                k += 3;
+            } else {
+                k += 1;
+                break;
+            }
+        }
+        if segs.len() < 2 || toks.get(k).map(|t| &t.kind) != Some(&Tok::Punct('(')) {
+            return (TypeRef::Unknown, k.min(end));
+        }
+        let method = segs.pop().expect("len >= 2");
+        let mut qual = segs.pop().expect("len >= 2");
+        if qual == "Self" {
+            match self_type {
+                Some(t) => qual = t.to_string(),
+                None => return (TypeRef::Unknown, k),
+            }
+        }
+        let after = matching_paren(toks, k).map_or(end, |c| c + 1);
+        if let Some(ids) = self.index.methods.get(&(qual.clone(), method.clone())) {
+            return (self.common_ret(ids, depth + 1), after);
+        }
+        if self.index.types.contains(&qual) || self.index.traits.contains_key(&qual) {
+            if method == "default" {
+                // `#[derive(Default)]` constructors are never indexed
+                // but always return `Self`.
+                return (TypeRef::Named(qual), after);
+            }
+            // Workspace type, unindexed associated fn (cfg(test) or
+            // macro-generated): unknown, never guessed.
+            return (TypeRef::Unknown, after);
+        }
+        if crate::types::CONTAINER_HEADS
+            .iter()
+            .any(|(h, _)| *h == qual)
+        {
+            // `Vec::new()`, `HashMap::with_capacity(…)`: a container
+            // with an element type this context can't see.
+            return (TypeRef::Wraps(String::new()), after);
+        }
+        // External type: `StdRng::seed_from_u64(…)` almost certainly
+        // constructs the named type.
+        (TypeRef::Named(qual), after)
+    }
+
+    /// Return type of a unique free fn; tuple-struct constructors
+    /// (`Submission(…)` style) type as the struct.
+    fn free_call_ret(&self, name: &str, _self_type: Option<&str>) -> TypeRef {
+        let frees: Vec<FnId> = self
+            .by_name
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| self.item(id).self_type.is_none())
+                    .collect()
+            })
+            .unwrap_or_default();
+        match frees.as_slice() {
+            [] => {
+                if self.index.types.contains(name) {
+                    TypeRef::Named(name.to_string())
+                } else {
+                    TypeRef::Unknown
+                }
+            }
+            ids => self.common_ret(ids, 1),
+        }
+    }
+
+    /// The shared declared return type of a candidate set, with
+    /// `Self` mapped through each candidate's impl type.
+    fn common_ret(&self, ids: &[FnId], depth: usize) -> TypeRef {
+        if depth > CHAIN_DEPTH {
+            return TypeRef::Unknown;
+        }
+        let mut ret: Option<TypeRef> = None;
+        for &id in ids {
+            let mut r = self.index.sigs[id].ret.clone();
+            if r == TypeRef::SelfTy {
+                r = self_named(self.item(id).self_type.as_deref());
+            }
+            match &ret {
+                None => ret = Some(r),
+                Some(prev) if *prev == r => {}
+                Some(_) => return TypeRef::Unknown,
+            }
+        }
+        ret.unwrap_or_default()
+    }
+
+    /// Value type of `recv.method(…)` for chain typing. External
+    /// receivers keep their type through `clone`; containers propagate
+    /// their element head through the chain; anything else unknown-out.
+    fn method_ret(&self, recv: &TypeRef, method: &str, depth: usize) -> TypeRef {
+        if let TypeRef::Wraps(elem) = recv {
+            return container_method_ret(elem, method);
+        }
+        match self.method_candidates(recv, method) {
+            MethodLookup::Workspace(ids) => self.common_ret(&ids, depth),
+            MethodLookup::External => {
+                if method == "clone" {
+                    recv.clone()
+                } else {
+                    TypeRef::Unknown
+                }
+            }
+            MethodLookup::Unknown => TypeRef::Unknown,
+        }
+    }
+
+    // -- call-site classification --------------------------------------
+
+    /// Classify the call whose head ident sits at `j`. `None` means the
+    /// site is invisible (no workspace candidates and no name
+    /// collision) — exactly the sites the old graph skipped.
+    #[allow(clippy::too_many_arguments)]
+    fn classify(
+        &self,
+        toks: &[Token],
+        j: usize,
+        name: &str,
+        file: usize,
+        self_type: Option<&str>,
+        scope: &BTreeMap<String, TypeRef>,
+        sig: &FnSig,
+        depth: usize,
+    ) -> Option<(SiteKind, Vec<FnId>)> {
+        let prev = |k: usize| toks.get(j.wrapping_sub(k)).map(|t| &t.kind);
+        // `Qual::name(…)`.
+        if prev(1) == Some(&Tok::Punct(':')) && prev(2) == Some(&Tok::Punct(':')) {
+            if let Some(Tok::Ident(q)) = prev(3) {
+                let qual: &str = if q == "Self" { self_type? } else { q };
+                if let Some(ids) = self
+                    .index
+                    .methods
+                    .get(&(qual.to_string(), name.to_string()))
+                {
+                    let c = dedup(ids);
+                    let kind = if c.len() == 1 {
+                        SiteKind::Resolved
+                    } else {
+                        SiteKind::Dispatch
+                    };
+                    return Some((kind, c));
+                }
+                if self.index.types.contains(qual) || self.index.traits.contains_key(qual) {
+                    // Known workspace type without this associated fn —
+                    // collapsed only if the bare name collides.
+                    return self.external_if_collides(name);
+                }
+                if qual.chars().next().is_some_and(char::is_uppercase) || is_primitive(qual) {
+                    // Type-cased qualifier outside the workspace
+                    // (`HashMap::new`, `Instant::now`, `f64::from`):
+                    // the associated fn is external by construction.
+                    return self.external_if_collides(name);
+                }
+                // `module::free_fn(…)`: free resolution narrowed by
+                // the module qualifier.
+                return self.classify_qualified_free(file, qual, name);
+            }
+            return None;
+        }
+        // `recv.name(…)`.
+        if prev(1) == Some(&Tok::Punct('.')) {
+            let recv = self.receiver_type(toks, j, self_type, scope, sig, depth);
+            return self.classify_method(&recv, name);
+        }
+        // Free call.
+        self.classify_free(file, name)
+    }
+
+    /// Dispatch on a typed receiver.
+    fn classify_method(&self, recv: &TypeRef, name: &str) -> Option<(SiteKind, Vec<FnId>)> {
+        match self.method_candidates(recv, name) {
+            MethodLookup::Workspace(ids) => {
+                let kind = if ids.len() == 1 {
+                    SiteKind::Resolved
+                } else {
+                    SiteKind::Dispatch
+                };
+                Some((kind, ids))
+            }
+            MethodLookup::External => self.external_if_collides(name),
+            MethodLookup::Unknown => {
+                let c = self.by_name.get(name).map(|ids| dedup(ids))?;
+                Some((SiteKind::Ambiguous, c))
+            }
+        }
+    }
+
+    /// All workspace candidates for `recv.name`, or the proof that the
+    /// call leaves the workspace.
+    fn method_candidates(&self, recv: &TypeRef, name: &str) -> MethodLookup {
+        match recv {
+            TypeRef::SelfTy | TypeRef::Unknown => MethodLookup::Unknown,
+            // Direct methods on std containers are std methods; only
+            // extraction re-enters the workspace, and that goes through
+            // `method_ret`'s element tracking.
+            TypeRef::Wraps(_) => MethodLookup::External,
+            TypeRef::Named(t) => {
+                if let Some(ids) = self.index.methods.get(&(t.clone(), name.to_string())) {
+                    return MethodLookup::Workspace(dedup(ids));
+                }
+                // Trait-default methods of traits this type implements.
+                let mut c = Vec::new();
+                for (tr, impls) in &self.index.impls_of {
+                    if impls.contains(t)
+                        && self.index.traits.get(tr).is_some_and(|m| m.contains(name))
+                    {
+                        if let Some(ids) = self.index.methods.get(&(tr.clone(), name.to_string())) {
+                            c.extend_from_slice(ids);
+                        }
+                    }
+                }
+                if !c.is_empty() {
+                    return MethodLookup::Workspace(dedup(&c));
+                }
+                MethodLookup::External
+            }
+            TypeRef::Generic(tr) => {
+                if let Some(declared) = self.index.traits.get(tr) {
+                    if declared.contains(name) {
+                        // The trait decl (covers defaults) plus every
+                        // implementor's override.
+                        let mut c = Vec::new();
+                        if let Some(ids) = self.index.methods.get(&(tr.clone(), name.to_string())) {
+                            c.extend_from_slice(ids);
+                        }
+                        if let Some(impls) = self.index.impls_of.get(tr) {
+                            for t in impls {
+                                if let Some(ids) =
+                                    self.index.methods.get(&(t.clone(), name.to_string()))
+                                {
+                                    c.extend_from_slice(ids);
+                                }
+                            }
+                        }
+                        let c = dedup(&c);
+                        if !c.is_empty() {
+                            return MethodLookup::Workspace(c);
+                        }
+                    }
+                    // Workspace trait, but the method isn't declared on
+                    // it (supertrait / later bound): stay honest.
+                    return MethodLookup::Unknown;
+                }
+                // Foreign trait (`Rng`, `Iterator`): external surface.
+                MethodLookup::External
+            }
+        }
+    }
+
+    /// Free-call resolution: candidates are the workspace *free* fns of
+    /// that name (an unqualified call can never land in an impl block),
+    /// narrowed by Rust's actual scoping — same-file definitions first,
+    /// then `use`-imported names matched on their module hint. A name
+    /// that is neither defined in-file nor imported nor reachable
+    /// through a glob import is proven external.
+    fn classify_free(&self, file: usize, name: &str) -> Option<(SiteKind, Vec<FnId>)> {
+        let frees = self.free_candidates(name)?;
+        if frees.is_empty() {
+            // The name exists only as methods — unreachable from a
+            // free call; the old name-based edges were spurious.
+            return Some((SiteKind::External, Vec::new()));
+        }
+        if frees.len() == 1 {
+            return Some((SiteKind::Resolved, frees));
+        }
+        let local: Vec<FnId> = frees
+            .iter()
+            .copied()
+            .filter(|&id| self.fns[id].file == file)
+            .collect();
+        if !local.is_empty() {
+            return Some(free_kind(local));
+        }
+        let scope = &self.scopes[file];
+        if let Some(hints) = scope.imports.get(name) {
+            let matched: Vec<FnId> = frees
+                .iter()
+                .copied()
+                .filter(|&id| hints.iter().any(|h| self.hint_matches(h, id, file)))
+                .collect();
+            if matched.is_empty() {
+                // Imported, but the hint matched no candidate (inline
+                // module, re-export): stay on the honest fallback.
+                return Some((SiteKind::Ambiguous, frees));
+            }
+            return Some(free_kind(matched));
+        }
+        if scope.has_glob {
+            let matched: Vec<FnId> = frees
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    scope
+                        .glob_hints
+                        .iter()
+                        .any(|h| self.hint_matches(h, id, file))
+                })
+                .collect();
+            if matched.is_empty() {
+                // Globs present but none can supply this name: the
+                // call resolves outside the workspace.
+                return Some((SiteKind::External, Vec::new()));
+            }
+            return Some(free_kind(matched));
+        }
+        // No local definition, no import, no glob: not in scope.
+        Some((SiteKind::External, Vec::new()))
+    }
+
+    /// `module::free_fn(…)`: free candidates narrowed by the module
+    /// qualifier (`crate`/`super`/`self` narrow to the calling crate).
+    fn classify_qualified_free(
+        &self,
+        file: usize,
+        qual: &str,
+        name: &str,
+    ) -> Option<(SiteKind, Vec<FnId>)> {
+        let frees = self.free_candidates(name)?;
+        if frees.is_empty() {
+            return Some((SiteKind::External, Vec::new()));
+        }
+        if frees.len() == 1 {
+            return Some((SiteKind::Resolved, frees));
+        }
+        let matched: Vec<FnId> = frees
+            .iter()
+            .copied()
+            .filter(|&id| self.hint_matches(qual, id, file))
+            .collect();
+        if matched.is_empty() {
+            // A module path that matches no workspace file: external
+            // (`std::mem::swap`-shaped calls).
+            return Some((SiteKind::External, Vec::new()));
+        }
+        Some(free_kind(matched))
+    }
+
+    /// The deduplicated free (non-method) fns named `name`; `None` when
+    /// the name has no workspace fns at all (invisible site, as
+    /// before).
+    fn free_candidates(&self, name: &str) -> Option<Vec<FnId>> {
+        let all = self.by_name.get(name)?;
+        Some(dedup(
+            &all.iter()
+                .copied()
+                .filter(|&id| self.item(id).self_type.is_none())
+                .collect::<Vec<_>>(),
+        ))
+    }
+
+    /// Does the module hint `h` (a penultimate `use` segment or path
+    /// qualifier) plausibly name the candidate's defining module?
+    fn hint_matches(&self, hint: &str, cand: FnId, caller_file: usize) -> bool {
+        let (c_crate, c_stem) = &self.meta[self.fns[cand].file];
+        match hint {
+            "" => false,
+            "crate" | "super" | "self" => *c_crate == self.meta[caller_file].0,
+            h => {
+                h == c_stem || h == c_crate || h.strip_prefix("dhs_").is_some_and(|r| r == c_crate)
+            }
+        }
+    }
+
+    /// An `External` site is only *counted* when the bare name collides
+    /// with workspace fns (i.e. the old graph would have produced
+    /// ambiguous edges here).
+    fn external_if_collides(&self, name: &str) -> Option<(SiteKind, Vec<FnId>)> {
+        if !self.by_name.contains_key(name) {
+            return None;
+        }
+        Some((SiteKind::External, Vec::new()))
+    }
+
+    /// Type of the receiver chain ending at the `.` before token `j`:
+    /// finds the chain head by walking back over `ident . ident` /
+    /// `) . ident` / path segments, then types it forward with
+    /// [`Self::eval_value`]'s chain logic.
+    fn receiver_type(
+        &self,
+        toks: &[Token],
+        j: usize,
+        self_type: Option<&str>,
+        scope: &BTreeMap<String, TypeRef>,
+        sig: &FnSig,
+        depth: usize,
+    ) -> TypeRef {
+        if depth > CHAIN_DEPTH {
+            return TypeRef::Unknown;
+        }
+        // j-1 is the `.`; k walks to the start of the receiver.
+        let mut k = match j.checked_sub(2) {
+            Some(k) => k,
+            None => return TypeRef::Unknown,
+        };
+        loop {
+            match &toks[k].kind {
+                Tok::Ident(_) => {
+                    // Path segment? rewind over `a::b`.
+                    if k >= 2
+                        && toks[k - 1].kind == Tok::Punct(':')
+                        && toks[k - 2].kind == Tok::Punct(':')
+                    {
+                        match k.checked_sub(3) {
+                            Some(n) if matches!(&toks[n].kind, Tok::Ident(_)) => {
+                                k = n;
+                                continue;
+                            }
+                            _ => return TypeRef::Unknown,
+                        }
+                    }
+                    if k >= 2
+                        && toks[k - 1].kind == Tok::Punct('.')
+                        && matches!(&toks[k - 2].kind, Tok::Ident(_) | Tok::Punct(')'))
+                    {
+                        k -= 2;
+                        continue;
+                    }
+                    break;
+                }
+                Tok::Punct(')') => {
+                    let open = match rmatching_paren(toks, k) {
+                        Some(o) => o,
+                        None => return TypeRef::Unknown,
+                    };
+                    match open.checked_sub(1) {
+                        Some(h)
+                            if matches!(&toks[h].kind, Tok::Ident(_)) && !is_keyword(&toks[h]) =>
+                        {
+                            k = h;
+                            continue;
+                        }
+                        Some(h) if toks[h].kind == Tok::Punct('!') => {
+                            // Macro call heads the chain
+                            // (`format!(…).len()`): rewind to the macro
+                            // ident for the forward eval's macro
+                            // primary.
+                            match h.checked_sub(1) {
+                                Some(m) if matches!(&toks[m].kind, Tok::Ident(_)) => {
+                                    k = m;
+                                    break;
+                                }
+                                _ => return TypeRef::Unknown,
+                            }
+                        }
+                        _ => {
+                            // A parenthesized group heads the chain
+                            // (`(a / b).max(c)`): the forward eval's
+                            // group primary types it.
+                            k = open;
+                            break;
+                        }
+                    }
+                }
+                Tok::Num if k >= 1 && toks[k - 1].kind == Tok::Punct('.') => {
+                    // Tuple-field access (`pair.0.step()`): we don't
+                    // model tuple element types, so the receiver is
+                    // untyped — fall back to the name-based candidate
+                    // set rather than wrongly classifying as external.
+                    return TypeRef::Unknown;
+                }
+                Tok::Str(_) | Tok::Num | Tok::Char => return TypeRef::Named("#lit".to_string()),
+                _ => return TypeRef::Unknown,
+            }
+        }
+        // Forward-type the chain [k, j-1).
+        let ty = self.eval_value(toks, k, j - 1, self_type, scope, sig, depth + 1);
+        match ty {
+            TypeRef::SelfTy => self_named(self_type),
+            t => t,
+        }
+    }
+
+    fn item(&self, id: FnId) -> &crate::items::FnItem {
+        let r = self.fns[id];
+        &self.files[r.file].fns[r.item]
+    }
+}
+
+/// Outcome of a typed method lookup.
+enum MethodLookup {
+    /// Candidates found in the workspace.
+    Workspace(Vec<FnId>),
+    /// Receiver typed; the method is not a workspace fn.
+    External,
+    /// Receiver not typed.
+    Unknown,
+}
+
+fn self_named(self_type: Option<&str>) -> TypeRef {
+    match self_type {
+        Some(t) => TypeRef::Named(t.to_string()),
+        None => TypeRef::Unknown,
+    }
+}
+
+/// Std methods that extract the element from a container
+/// (`pending.first().unwrap()` surfaces the element type).
+const EXTRACTING_METHODS: &[&str] = &[
+    "expect",
+    "into_inner",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "take",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+];
+
+/// Std methods that replace the element type with something this model
+/// can't see (`map`, `fold`, …): the chain drops to an element-less
+/// container or to `Unknown` entirely for scalar-returning folds.
+const ELEM_TRANSFORMS: &[&str] = &[
+    "and_then",
+    "err",
+    "filter_map",
+    "flat_map",
+    "flatten",
+    "keys",
+    "map",
+    "map_while",
+    "scan",
+    "unzip",
+    "zip",
+];
+
+/// Std methods whose return value escapes the container model entirely
+/// (arbitrary accumulator types): unknown, never guessed.
+const SCALAR_FOLDS: &[&str] = &["fold", "map_or", "map_or_else", "reduce"];
+
+/// Chain typing for `container.method(…)`: extraction surfaces the
+/// element head, transforms forget it, folds bail, and everything else
+/// (adapters, accessors, `collect`) stays inside the container model.
+fn container_method_ret(elem: &str, method: &str) -> TypeRef {
+    if EXTRACTING_METHODS.contains(&method) {
+        if elem.is_empty() {
+            TypeRef::Unknown
+        } else {
+            TypeRef::Named(elem.to_string())
+        }
+    } else if ELEM_TRANSFORMS.contains(&method) {
+        TypeRef::Wraps(String::new())
+    } else if SCALAR_FOLDS.contains(&method) {
+        TypeRef::Unknown
+    } else {
+        TypeRef::Wraps(elem.to_string())
+    }
+}
+
+/// Is `h` a primitive scalar head (closed under binary arithmetic)?
+fn is_primitive(h: &str) -> bool {
+    matches!(
+        h,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+            | "f32"
+            | "f64"
+            | "bool"
+            | "char"
+            | "str"
+            | "#lit"
+    )
+}
+
+/// Resolution kind for a narrowed free-candidate set.
+fn free_kind(c: Vec<FnId>) -> (SiteKind, Vec<FnId>) {
+    if c.len() == 1 {
+        (SiteKind::Resolved, c)
+    } else {
+        (SiteKind::Ambiguous, c)
+    }
+}
+
+/// The module stem of a workspace-relative path, for `use`-hint
+/// matching: the file stem, or the parent directory for
+/// `mod.rs`/`lib.rs`/`main.rs`.
+fn module_stem(path: &str) -> String {
+    let parts: Vec<&str> = path.split('/').collect();
+    let stem = parts
+        .last()
+        .and_then(|n| n.strip_suffix(".rs"))
+        .unwrap_or("");
+    if matches!(stem, "mod" | "lib" | "main") && parts.len() >= 2 {
+        parts[parts.len() - 2].to_string()
+    } else {
+        stem.to_string()
+    }
+}
+
+/// Parse every `use` declaration in the token stream into a
+/// [`FileScope`]. Handles nested groups, globs, and `as` aliases
+/// (aliases are skipped — an aliased name can never match a by-name
+/// candidate).
+fn parse_uses(toks: &[Token]) -> FileScope {
+    let mut scope = FileScope::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if matches!(&toks[i].kind, Tok::Ident(s) if s == "use") {
+            let next = use_tree(toks, i + 1, Vec::new(), &mut scope);
+            i = next.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    scope
+}
+
+/// One use-tree: a path followed by a terminal name, a `{…}` group, or
+/// a `*` glob. Returns the index just past the tree.
+fn use_tree(toks: &[Token], mut i: usize, prefix: Vec<String>, scope: &mut FileScope) -> usize {
+    let mut segs = prefix;
+    loop {
+        match toks.get(i).map(|t| &t.kind) {
+            Some(Tok::Punct('{')) => {
+                i += 1;
+                loop {
+                    match toks.get(i).map(|t| &t.kind) {
+                        Some(Tok::Punct('}')) => return i + 1,
+                        Some(Tok::Punct(',')) => i += 1,
+                        Some(Tok::Punct(';')) | None => return i,
+                        Some(_) => {
+                            let next = use_tree(toks, i, segs.clone(), scope);
+                            i = next.max(i + 1);
+                        }
+                    }
+                }
+            }
+            Some(Tok::Punct('*')) => {
+                scope.has_glob = true;
+                scope
+                    .glob_hints
+                    .push(segs.last().cloned().unwrap_or_default());
+                return i + 1;
+            }
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                if toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                    && toks.get(i + 2).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                {
+                    segs.push(s);
+                    i += 3;
+                    continue;
+                }
+                if matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Ident(a)) if a == "as") {
+                    return i + 3;
+                }
+                if s != "self" {
+                    let pen = segs.last().cloned().unwrap_or_default();
+                    scope.imports.entry(s).or_default().push(pen);
+                }
+                return i + 1;
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Index of the closing delimiter matching the opener `open_ch` at
+/// `open` (`(`/`[`/`{` — same-kind counting, which is exact because
+/// the lexer never splits delimiters).
+fn matching_delim(toks: &[Token], open: usize, open_ch: char) -> Option<usize> {
+    let close_ch = match open_ch {
+        '(' => ')',
+        '[' => ']',
+        '{' => '}',
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == Tok::Punct(open_ch) {
+            depth += 1;
+        } else if t.kind == Tok::Punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `(` matching the `)` at `close`, scanning backward.
+fn rmatching_paren(toks: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for j in (0..=close).rev() {
+        match toks[j].kind {
+            Tok::Punct(')') => depth += 1,
+            Tok::Punct('(') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn dedup(ids: &[FnId]) -> Vec<FnId> {
+    let set: std::collections::BTreeSet<FnId> = ids.iter().copied().collect();
+    set.into_iter().collect()
+}

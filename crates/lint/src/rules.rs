@@ -19,18 +19,55 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::lexer::{lex, Tok, Token};
 
-/// Crates on the deterministic-replay path: two same-seed runs must be
-/// byte-identical, so wall clocks, OS entropy, and hash-iteration order
-/// are banned outright.
-pub const REPLAY_CRATES: &[&str] = &[
-    "core", "net", "obs", "dht", "sketch", "shard", "traj", "par",
+/// Crates opted *out* of the deterministic-replay rules. Everything
+/// else in the workspace (including crates added by future PRs and the
+/// root facade crate) is on the replay path by default: two same-seed
+/// runs must be byte-identical, so wall clocks, OS entropy, and
+/// hash-iteration order are banned outright. The old allowlists
+/// (`REPLAY_CRATES`/`METRIC_NAME_CRATES`) had to be hand-extended every
+/// PR and went stale; `tests/workspace.rs` asserts these opt-outs stay
+/// a subset of the actual `Cargo.toml` members.
+pub const REPLAY_OPT_OUT: &[&str] = &[
+    "baselines", // offline estimator references, not replayed
+    "bench",     // measurement harness: wall clocks are the point
+    "histogram", // plotting/report helper, no replay surface
+    "lint",      // this tool (its sources spell out banned patterns)
+    "shims",     // vendored stand-ins for external crates
+    "workload",  // generator CLI, seeds its own streams
 ];
 
-/// Crates whose recorder call sites must use `dhs_obs::names` constants.
-/// `bench` is otherwise exempt (measurement code), but its KPI emitters
-/// feed the trajectory registry, so its metric names are checked too.
-pub const METRIC_NAME_CRATES: &[&str] =
-    &["core", "dht", "net", "obs", "shard", "traj", "bench", "par"];
+/// Crates opted *out* of the metric-name rule. `bench` is in scope
+/// despite its replay opt-out: its KPI emitters feed the gated
+/// trajectory registry. `sketch` is out: its `histogram(..)`
+/// constructors collide with the recorder-call surface by name.
+pub const METRIC_NAME_OPT_OUT: &[&str] = &[
+    "baselines",
+    "histogram",
+    "lint",
+    "shims",
+    "sketch",
+    "workload",
+];
+
+/// Is `crate_name` (a `crates/` directory name, or `"(root)"`) on the
+/// deterministic-replay path?
+pub fn replay_scope(crate_name: &str) -> bool {
+    !REPLAY_OPT_OUT.contains(&crate_name)
+}
+
+/// Must `crate_name`'s recorder call sites use `dhs_obs::names`?
+pub fn metric_name_scope(crate_name: &str) -> bool {
+    !METRIC_NAME_OPT_OUT.contains(&crate_name)
+}
+
+/// Is this file in scope for the interprocedural flow analysis?
+/// Library sources of every crate except the shims and the lint tool
+/// itself — wider than [`replay_scope`] because `bench` library code
+/// participates in the call graph (its KPI emitters call into replay
+/// crates).
+pub fn flow_scope(class: &FileClass) -> bool {
+    class.is_library && !matches!(class.crate_name.as_str(), "shims" | "lint")
+}
 
 /// The only replay-path modules allowed to spawn threads or take locks:
 /// dhs-par's sharded driver, whose fan-in merge is what *makes* threading
@@ -109,10 +146,13 @@ pub fn classify(path: &str) -> FileClass {
 }
 
 /// The canonical metric/span name table (values of the `pub const`
-/// string items in `dhs_obs::names`).
+/// string items in `dhs_obs::names`), plus the const-ident → value map
+/// so call sites spelling `names::OP_COUNT` can be *verified* rather
+/// than skipped.
 #[derive(Debug, Default, Clone)]
 pub struct NameSet {
     names: BTreeSet<String>,
+    consts: BTreeMap<String, String>,
 }
 
 impl NameSet {
@@ -120,14 +160,17 @@ impl NameSet {
     pub fn from_names<I: IntoIterator<Item = String>>(names: I) -> Self {
         NameSet {
             names: names.into_iter().collect(),
+            consts: BTreeMap::new(),
         }
     }
 
     /// Parse the canonical table out of `names.rs` source: every
-    /// `const IDENT: &str = "…";` item contributes its value.
+    /// `const IDENT: &str = "…";` item contributes its value, keyed by
+    /// ident for call-site constant propagation.
     pub fn parse(source: &str) -> Self {
         let toks = lex(source).tokens;
         let mut names = BTreeSet::new();
+        let mut consts = BTreeMap::new();
         let mut i = 0;
         while i + 6 < toks.len() {
             if is_ident(&toks[i], "const")
@@ -139,18 +182,26 @@ impl NameSet {
             {
                 if let Tok::Str(v) = &toks[i + 6].kind {
                     names.insert(v.clone());
+                    if let Tok::Ident(ident) = &toks[i + 1].kind {
+                        consts.insert(ident.clone(), v.clone());
+                    }
                     i += 7;
                     continue;
                 }
             }
             i += 1;
         }
-        NameSet { names }
+        NameSet { names, consts }
     }
 
     /// Whether `name` is canonical.
     pub fn contains(&self, name: &str) -> bool {
         self.names.contains(name)
+    }
+
+    /// The canonical value of the `dhs_obs::names` const `ident`.
+    pub fn value_of(&self, ident: &str) -> Option<&str> {
+        self.consts.get(ident).map(String::as_str)
     }
 
     /// Number of canonical names.
@@ -189,7 +240,7 @@ pub fn lint_source(path: &str, source: &str, names: &NameSet) -> Vec<Finding> {
         findings: Vec::new(),
     };
 
-    let on_replay_path = REPLAY_CRATES.contains(&class.crate_name.as_str());
+    let on_replay_path = replay_scope(&class.crate_name);
     if !bench_names_only {
         if (class.is_library && on_replay_path) || class.is_example {
             determinism(&mut ctx, &lexed.tokens);
@@ -199,7 +250,7 @@ pub fn lint_source(path: &str, source: &str, names: &NameSet) -> Vec<Finding> {
             panic_hygiene(&mut ctx, &lexed.tokens);
         }
     }
-    if class.is_library && METRIC_NAME_CRATES.contains(&class.crate_name.as_str()) {
+    if class.is_library && metric_name_scope(&class.crate_name) {
         metric_names(&mut ctx, &lexed.tokens, names);
     }
 
@@ -547,7 +598,7 @@ fn lossy_cast(ctx: &mut Ctx<'_>, toks: &[Token]) {
 // metric_names
 // ---------------------------------------------------------------------
 
-const RECORDER_CALLS: &[&str] = &[
+pub(crate) const RECORDER_CALLS: &[&str] = &[
     "incr",
     "observe",
     "gauge_set",
@@ -557,7 +608,165 @@ const RECORDER_CALLS: &[&str] = &[
     "histogram",
 ];
 
+/// File-local constant propagation for metric-name arguments: resolves
+/// `const` items, `concat!` of literals, `names::X` paths, and
+/// single-assignment `let` locals to their string values.
+struct NameEnv<'a> {
+    names: &'a NameSet,
+    /// File-level `const IDENT: &str = …;` values.
+    consts: BTreeMap<String, String>,
+    /// `let` bindings: ident → sorted (token position, value).
+    lets: BTreeMap<String, Vec<(usize, Option<String>)>>,
+    /// Idents that cannot be trusted: `mut` bindings, reassignments,
+    /// or any `ident :` occurrence (a param/field of the same name
+    /// could shadow the binding across fn boundaries, which this flat
+    /// file-level model does not track).
+    poisoned: BTreeSet<String>,
+}
+
+impl<'a> NameEnv<'a> {
+    fn build(toks: &[Token], names: &'a NameSet) -> NameEnv<'a> {
+        let mut env = NameEnv {
+            names,
+            consts: BTreeMap::new(),
+            lets: BTreeMap::new(),
+            poisoned: BTreeSet::new(),
+        };
+        // Pass 1: file-level string consts (forward, so a const may
+        // reference an earlier one).
+        let mut i = 0;
+        while i + 6 < toks.len() {
+            if is_ident(&toks[i], "const")
+                && matches!(toks[i + 1].kind, Tok::Ident(_))
+                && toks[i + 2].kind == Tok::Punct(':')
+                && toks[i + 3].kind == Tok::Punct('&')
+                && is_ident(&toks[i + 4], "str")
+                && toks[i + 5].kind == Tok::Punct('=')
+            {
+                if let (Tok::Ident(ident), Some(v)) =
+                    (&toks[i + 1].kind, env.eval_expr(toks, i + 6))
+                {
+                    env.consts.insert(ident.clone(), v);
+                }
+            }
+            i += 1;
+        }
+        // Pass 2: poison marks and let bindings.
+        for i in 0..toks.len() {
+            let Tok::Ident(name) = &toks[i].kind else {
+                continue;
+            };
+            // `name :` (single colon) — param, field, or ascription.
+            // A `const`/`static` declaration's own type ascription is
+            // not a shadow risk: those names live in the consts table.
+            let is_item_decl =
+                i >= 1 && (is_ident(&toks[i - 1], "const") || is_ident(&toks[i - 1], "static"));
+            if toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                && toks.get(i + 2).map(|t| &t.kind) != Some(&Tok::Punct(':'))
+                && (i == 0 || toks[i - 1].kind != Tok::Punct(':'))
+                && !is_item_decl
+            {
+                env.poisoned.insert(name.clone());
+            }
+            let after_let = i >= 1 && is_ident(&toks[i - 1], "let");
+            let after_let_mut =
+                i >= 2 && is_ident(&toks[i - 1], "mut") && is_ident(&toks[i - 2], "let");
+            if after_let_mut {
+                env.poisoned.insert(name.clone());
+                continue;
+            }
+            if toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct('='))
+                && toks.get(i + 2).map(|t| &t.kind) != Some(&Tok::Punct('='))
+            {
+                if after_let {
+                    let value = env.eval_expr(toks, i + 2);
+                    env.lets.entry(name.clone()).or_default().push((i, value));
+                } else if !matches!(toks.get(i + 2).map(|t| &t.kind), Some(Tok::Punct('>'))) {
+                    // Reassignment (`name = …`, not `name =>`).
+                    env.poisoned.insert(name.clone());
+                }
+            }
+        }
+        env
+    }
+
+    /// Value of the string expression starting at `k`: a literal, a
+    /// `concat!` of literals, a `names::X`-style path, or a const
+    /// ident already in the table. `None` = not resolvable.
+    fn eval_expr(&self, toks: &[Token], k: usize) -> Option<String> {
+        match &toks.get(k)?.kind {
+            Tok::Str(v) => Some(v.clone()),
+            Tok::Ident(c)
+                if c == "concat" && toks.get(k + 1).map(|t| &t.kind) == Some(&Tok::Punct('!')) =>
+            {
+                let mut out = String::new();
+                let mut j = k + 3; // past `concat ! (`
+                while let Some(t) = toks.get(j) {
+                    match &t.kind {
+                        Tok::Str(v) => out.push_str(v),
+                        Tok::Punct(',') => {}
+                        Tok::Punct(')') => return Some(out),
+                        // A non-literal argument defeats resolution.
+                        _ => return None,
+                    }
+                    j += 1;
+                }
+                None
+            }
+            Tok::Ident(_) => {
+                // Walk a path `a::b::X`; resolve the final segment via
+                // the canonical table (any path mentioning `names`) or
+                // the file-local const table (bare ident).
+                let mut j = k;
+                let mut via_names = false;
+                loop {
+                    let Tok::Ident(seg) = &toks.get(j)?.kind else {
+                        return None;
+                    };
+                    if seg == "names" {
+                        via_names = true;
+                    }
+                    if toks.get(j + 1).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                        && toks.get(j + 2).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                    {
+                        j += 3;
+                        continue;
+                    }
+                    return if via_names && j != k {
+                        self.names.value_of(seg).map(str::to_string)
+                    } else if j == k {
+                        self.consts
+                            .get(seg)
+                            .cloned()
+                            .or_else(|| self.names.value_of(seg).map(str::to_string))
+                    } else {
+                        None
+                    };
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Resolve a bare ident used as a metric-name argument at token
+    /// position `at`: the latest earlier `let` binding, else a const.
+    fn resolve_ident(&self, name: &str, at: usize) -> Option<String> {
+        if self.poisoned.contains(name) {
+            return None;
+        }
+        if let Some(binds) = self.lets.get(name) {
+            let latest = binds.iter().rev().find(|(pos, _)| *pos < at)?;
+            return latest.1.clone();
+        }
+        self.consts
+            .get(name)
+            .cloned()
+            .or_else(|| self.names.value_of(name).map(str::to_string))
+    }
+}
+
 fn metric_names(ctx: &mut Ctx<'_>, toks: &[Token], names: &NameSet) {
+    let env = NameEnv::build(toks, names);
     let mut i = 0;
     while i < toks.len() {
         let is_call = matches!(&toks[i].kind, Tok::Ident(s) if RECORDER_CALLS.contains(&s.as_str()))
@@ -570,16 +779,48 @@ fn metric_names(ctx: &mut Ctx<'_>, toks: &[Token], names: &NameSet) {
         // canonical name.
         let mut j = i + 2;
         let mut depth = 1usize;
+        let mut first_arg_end = None;
         while j < toks.len() && depth > 0 {
             match &toks[j].kind {
-                Tok::Punct('(') => depth += 1,
-                Tok::Punct(')') => depth -= 1,
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        first_arg_end.get_or_insert(j);
+                    }
+                }
+                Tok::Punct(',') if depth == 1 => {
+                    first_arg_end.get_or_insert(j);
+                }
                 Tok::Str(v) if !names.contains(v) => {
                     ctx.report(toks[j].line, "metric_names");
                 }
                 _ => {}
             }
             j += 1;
+        }
+        // Constant propagation over the first argument: a lone ident or
+        // path that resolves to a non-canonical value is a violation
+        // the literal scan above cannot see. Unresolvable arguments
+        // (locals of unknown value, fn parameters) are skipped, never
+        // guessed.
+        if let Some(end) = first_arg_end {
+            let value = match end.saturating_sub(i + 2) {
+                1 => match &toks[i + 2].kind {
+                    Tok::Ident(name) => env.resolve_ident(name, i + 2),
+                    _ => None,
+                },
+                n if n >= 3 => match &toks[i + 2].kind {
+                    Tok::Ident(_) => env.eval_expr(toks, i + 2),
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(v) = value {
+                if !names.contains(&v) {
+                    ctx.report(toks[i + 2].line, "metric_names");
+                }
+            }
         }
         i = j;
     }

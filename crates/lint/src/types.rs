@@ -1,0 +1,722 @@
+//! dhs-types: a lightweight type model over the token-item stream.
+//!
+//! [`TypeIndex`] indexes, workspace-wide: struct field types, trait
+//! method declarations, `impl Trait for Type` relations, and every fn's
+//! parsed signature (parameter and return type heads, with generic
+//! parameters resolved to their first trait bound).
+//! [`crate::resolve`] consumes it to type call receivers and collapse
+//! the name-based ambiguous edge sets of the old call graph.
+//!
+//! The model is deliberately head-only: `&mut impl Rng` is
+//! `Generic("Rng")`, a tuple is [`TypeRef::Unknown`]. Std containers
+//! keep one extra hop of information — `Vec<Submission>` is
+//! `Wraps("Submission")` — so a chain like `pending.first().unwrap()`
+//! can surface the workspace element type while every direct container
+//! method (`len`, `push`, `iter`) is provably external. That is exactly
+//! enough to answer the one question dispatch needs — *which impl
+//! blocks can this method call land in* — without building a real type
+//! system.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{FnId, FnRef};
+use crate::items::{FileItems, FnItem};
+use crate::lexer::{Tok, Token};
+
+/// The head of a type expression, as far as receiver dispatch needs it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TypeRef {
+    /// A concrete nominal type head (`Ring`, `Vec`, `StdRng`).
+    Named(String),
+    /// A generic parameter or `impl`/`dyn` object, known only by its
+    /// first trait bound (`T: Transport` → `Generic("Transport")`).
+    Generic(String),
+    /// A std container or wrapper (`Vec<T>`, `Option<T>`, maps, slices)
+    /// holding elements whose type head is the payload (empty when the
+    /// element type is itself unresolvable). Direct methods on the
+    /// container are external; extraction methods (`unwrap`,
+    /// `or_default`, …) surface the element type.
+    Wraps(String),
+    /// The enclosing impl's `Self`.
+    SelfTy,
+    /// Not inferable; resolution falls back to name-based candidates.
+    #[default]
+    Unknown,
+}
+
+/// One fn's parsed signature.
+#[derive(Debug, Clone, Default)]
+pub struct FnSig {
+    /// `(binding name, type head)` for simple `name: Type` params
+    /// (receivers and destructuring patterns are omitted).
+    pub params: Vec<(String, TypeRef)>,
+    /// Return type head; `Unknown` for `()` and unparsed shapes.
+    pub ret: TypeRef,
+    /// Generic vars in scope for this fn's body: var → first trait
+    /// bound (`None` for unbounded vars). Includes impl-level generics.
+    pub bounds: BTreeMap<String, Option<String>>,
+}
+
+/// The workspace type index, keyed by bare type/trait names. Name
+/// collisions across crates merge honestly into multi-candidate sets —
+/// dispatch reports them as such rather than guessing.
+#[derive(Debug, Default)]
+pub struct TypeIndex {
+    /// struct name → field name → field type head.
+    pub fields: BTreeMap<String, BTreeMap<String, TypeRef>>,
+    /// Every struct/enum name defined in the scanned set.
+    pub types: BTreeSet<String>,
+    /// trait name → method names declared in the trait block.
+    pub traits: BTreeMap<String, BTreeSet<String>>,
+    /// trait name → types with an `impl Trait for Type` block.
+    pub impls_of: BTreeMap<String, BTreeSet<String>>,
+    /// `(self type or trait name, method name)` → global fn ids.
+    pub methods: BTreeMap<(String, String), Vec<FnId>>,
+    /// Parsed signatures, parallel to the global fn table.
+    pub sigs: Vec<FnSig>,
+}
+
+impl TypeIndex {
+    /// Build the index over the files and the global fn table the call
+    /// graph is being constructed for.
+    pub fn build(files: &[FileItems], fns: &[FnRef]) -> TypeIndex {
+        let mut idx = TypeIndex::default();
+        for file in files {
+            scan_type_defs(&file.tokens, &mut idx);
+        }
+        for (id, r) in fns.iter().enumerate() {
+            let f = &files[r.file].fns[r.item];
+            if let Some(t) = &f.self_type {
+                idx.methods
+                    .entry((t.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+                if f.in_trait {
+                    idx.traits
+                        .entry(t.clone())
+                        .or_default()
+                        .insert(f.name.clone());
+                }
+            }
+            if let (Some(tr), Some(t)) = (&f.trait_of, &f.self_type) {
+                idx.impls_of
+                    .entry(tr.clone())
+                    .or_default()
+                    .insert(t.clone());
+            }
+        }
+        for r in fns {
+            let file = &files[r.file];
+            idx.sigs.push(parse_sig(&file.tokens, &file.fns[r.item]));
+        }
+        idx
+    }
+
+    /// The declared field type of `ty.field`, if the head is a known
+    /// struct with that named field.
+    pub fn field_type(&self, ty: &TypeRef, field: &str) -> TypeRef {
+        match ty {
+            TypeRef::Named(t) => self
+                .fields
+                .get(t)
+                .and_then(|fs| fs.get(field))
+                .cloned()
+                .unwrap_or(TypeRef::Unknown),
+            _ => TypeRef::Unknown,
+        }
+    }
+}
+
+/// Record `struct`/`enum` definitions: the type name, and for
+/// brace-bodied structs the `field: Type` heads.
+fn scan_type_defs(toks: &[Token], idx: &mut TypeIndex) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let kw = match &toks[i].kind {
+            Tok::Ident(s) if s == "struct" || s == "enum" => s.clone(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) else {
+            i += 1;
+            continue;
+        };
+        let name = name.clone();
+        idx.types.insert(name.clone());
+        let mut j = i + 2;
+        let mut bounds = BTreeMap::new();
+        if toks.get(j).map(|t| &t.kind) == Some(&Tok::Punct('<')) {
+            let close = matching_angle(toks, j).unwrap_or(j);
+            collect_bounds(toks, j + 1, close, &mut bounds);
+            j = close + 1;
+        }
+        // Skip a where clause up to the body.
+        while j < toks.len()
+            && !matches!(
+                toks[j].kind,
+                Tok::Punct('{') | Tok::Punct('(') | Tok::Punct(';')
+            )
+        {
+            j += 1;
+        }
+        if kw == "struct" && toks.get(j).map(|t| &t.kind) == Some(&Tok::Punct('{')) {
+            let fields = idx.fields.entry(name).or_default();
+            let mut depth = 0usize;
+            while j < toks.len() {
+                match &toks[j].kind {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Tok::Ident(f)
+                        if depth == 1
+                            && is_single_colon(toks, j + 1)
+                            && !is_single_colon_before(toks, j) =>
+                    {
+                        let (ty, next) = parse_type_expr(toks, j + 2, &bounds);
+                        fields.insert(f.clone(), ty);
+                        j = next;
+                        continue;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        i = j.max(i + 1);
+    }
+}
+
+/// Is the token at `i` a single `:` (not part of `::`)?
+fn is_single_colon(toks: &[Token], i: usize) -> bool {
+    toks.get(i).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+        && toks.get(i + 1).map(|t| &t.kind) != Some(&Tok::Punct(':'))
+        && (i == 0 || toks[i - 1].kind != Tok::Punct(':'))
+}
+
+/// Is the token just before `i` a single `:`?
+fn is_single_colon_before(toks: &[Token], i: usize) -> bool {
+    i >= 1 && is_single_colon(toks, i - 1)
+}
+
+/// Index of the `>` matching the `<` at `open` (angle depth; `>>`
+/// lexes as two tokens, so plain counting works).
+fn matching_angle(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            // A `(` in a generic list would be an fn-pointer type; bail
+            // rather than miscount.
+            Tok::Punct(';') | Tok::Punct('{') => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open`.
+pub(crate) fn matching_paren(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Collect `(var, first bound)` pairs from a generic list or where
+/// clause range: `A : Tr` records `A → Some(Tr)`, a bare var records
+/// `A → None`. A `Some` bound upgrades an earlier `None`, never the
+/// reverse — the first bound wins.
+fn collect_bounds(
+    toks: &[Token],
+    lo: usize,
+    hi: usize,
+    out: &mut BTreeMap<String, Option<String>>,
+) {
+    let mut i = lo;
+    while i < hi {
+        let Tok::Ident(v) = &toks[i].kind else {
+            i += 1;
+            continue;
+        };
+        // A var name appears at the start of the range or right after a
+        // separator; path segments (`a::b`) are skipped.
+        let at_sep = i == lo
+            || matches!(toks[i - 1].kind, Tok::Punct(',') | Tok::Punct('<'))
+            || matches!(&toks[i - 1].kind, Tok::Ident(s) if s == "where");
+        if !at_sep {
+            i += 1;
+            continue;
+        }
+        if is_single_colon(toks, i + 1) {
+            // First bound: the first ident after the colon, skipping
+            // lifetimes, `?`, and `dyn`.
+            let mut k = i + 2;
+            let mut bound = None;
+            while k < hi {
+                match &toks[k].kind {
+                    Tok::Ident(s) if s != "dyn" => {
+                        bound = Some(s.clone());
+                        break;
+                    }
+                    Tok::Punct(',') | Tok::Punct('>') => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            match out.get(v.as_str()) {
+                Some(Some(_)) => {}
+                _ => {
+                    out.insert(v.clone(), bound);
+                }
+            }
+        } else if matches!(
+            toks.get(i + 1).map(|t| &t.kind),
+            Some(Tok::Punct(',')) | Some(Tok::Punct('>')) | None
+        ) {
+            out.entry(v.clone()).or_insert(None);
+        }
+        i += 1;
+    }
+}
+
+/// Parse a type expression starting at `from`; returns its head and the
+/// index just past the type (the separating `,` / `}` / `)` / `;`).
+fn parse_type_expr(
+    toks: &[Token],
+    from: usize,
+    bounds: &BTreeMap<String, Option<String>>,
+) -> (TypeRef, usize) {
+    let head = parse_type_head(toks, from, bounds);
+    // Skip to the end of the type: the first `,` / `}` / `)` / `;` at
+    // zero relative angle/paren/bracket depth.
+    let (mut ad, mut pd, mut sd) = (0i32, 0i32, 0i32);
+    let mut j = from;
+    while j < toks.len() {
+        match toks[j].kind {
+            Tok::Punct('<') => ad += 1,
+            Tok::Punct('>') => ad -= 1,
+            Tok::Punct('(') => pd += 1,
+            Tok::Punct(')') if pd > 0 => pd -= 1,
+            Tok::Punct('[') => sd += 1,
+            Tok::Punct(']') => sd -= 1,
+            Tok::Punct(',') | Tok::Punct(';') if ad <= 0 && pd == 0 && sd == 0 => break,
+            Tok::Punct(')') | Tok::Punct('}') if pd == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    (head, j)
+}
+
+/// Std container/wrapper heads tracked as [`TypeRef::Wraps`]. Paired
+/// with the zero-based index of the generic argument that carries the
+/// element type (maps track the value, `Result` the `Ok` type).
+pub(crate) const CONTAINER_HEADS: &[(&str, usize)] = &[
+    ("Arc", 0),
+    ("BTreeMap", 1),
+    ("BTreeSet", 0),
+    ("BinaryHeap", 0),
+    ("Box", 0),
+    ("Cell", 0),
+    ("Cow", 0),
+    ("HashMap", 1),
+    ("HashSet", 0),
+    ("Mutex", 0),
+    ("Option", 0),
+    ("Rc", 0),
+    ("RefCell", 0),
+    ("Result", 0),
+    ("RwLock", 0),
+    ("Vec", 0),
+    ("VecDeque", 0),
+];
+
+/// The head of the type expression starting at `from`: skips
+/// references/lifetimes/`mut`, resolves `impl`/`dyn` objects to their
+/// trait, paths to their last segment, generic vars through `bounds`,
+/// and std containers/slices to [`TypeRef::Wraps`] of their element
+/// head.
+pub(crate) fn parse_type_head(
+    toks: &[Token],
+    from: usize,
+    bounds: &BTreeMap<String, Option<String>>,
+) -> TypeRef {
+    let mut i = from;
+    while i < toks.len() {
+        match &toks[i].kind {
+            Tok::Punct('&') | Tok::Lifetime => i += 1,
+            Tok::Ident(s) if s == "mut" => i += 1,
+            _ => break,
+        }
+    }
+    match toks.get(i).map(|t| &t.kind) {
+        Some(Tok::Ident(s)) if s == "impl" || s == "dyn" => match last_path_segment(toks, i + 1) {
+            Some((seg, _)) => TypeRef::Generic(seg),
+            None => TypeRef::Unknown,
+        },
+        Some(Tok::Ident(s)) if s == "Self" => TypeRef::SelfTy,
+        Some(Tok::Ident(_)) => match last_path_segment(toks, i) {
+            Some((seg, next)) => match bounds.get(&seg) {
+                Some(Some(tr)) => TypeRef::Generic(tr.clone()),
+                Some(None) => TypeRef::Unknown,
+                None => match CONTAINER_HEADS.iter().find(|(h, _)| *h == seg) {
+                    Some(&(_, arg)) => {
+                        let elem = if toks.get(next).map(|t| &t.kind) == Some(&Tok::Punct('<')) {
+                            nth_generic_arg(toks, next, arg)
+                                .map(|a| elem_head(toks, a, bounds))
+                                .unwrap_or_default()
+                        } else {
+                            String::new()
+                        };
+                        TypeRef::Wraps(elem)
+                    }
+                    None => TypeRef::Named(seg),
+                },
+            },
+            None => TypeRef::Unknown,
+        },
+        // Slice / array: `[T]`, `[T; N]`.
+        Some(Tok::Punct('[')) => TypeRef::Wraps(elem_head(toks, i + 1, bounds)),
+        _ => TypeRef::Unknown,
+    }
+}
+
+/// Start index of the `n`-th top-level generic argument inside the
+/// angle list opening at `open`.
+fn nth_generic_arg(toks: &[Token], open: usize, n: usize) -> Option<usize> {
+    let close = matching_angle(toks, open)?;
+    let mut arg = 0usize;
+    let mut start = open + 1;
+    let (mut ad, mut pd, mut sd) = (0i32, 0i32, 0i32);
+    for (j, t) in toks.iter().enumerate().take(close).skip(open + 1) {
+        match t.kind {
+            Tok::Punct('<') => ad += 1,
+            Tok::Punct('>') => ad -= 1,
+            Tok::Punct('(') => pd += 1,
+            Tok::Punct(')') => pd -= 1,
+            Tok::Punct('[') => sd += 1,
+            Tok::Punct(']') => sd -= 1,
+            Tok::Punct(',') if ad == 0 && pd == 0 && sd == 0 => {
+                if arg == n {
+                    break;
+                }
+                arg += 1;
+                start = j + 1;
+            }
+            _ => {}
+        }
+    }
+    (arg == n && start < close).then_some(start)
+}
+
+/// The raw head segment of the element type at `from` (for
+/// [`TypeRef::Wraps`] payloads): nested containers keep their own head
+/// name (`Vec<u64>` inside a map is `"Vec"` — still provably external),
+/// generic vars and unparsable shapes are `""`.
+fn elem_head(toks: &[Token], from: usize, bounds: &BTreeMap<String, Option<String>>) -> String {
+    let mut i = from;
+    while i < toks.len() {
+        match &toks[i].kind {
+            Tok::Punct('&') | Tok::Lifetime => i += 1,
+            Tok::Ident(s) if s == "mut" => i += 1,
+            _ => break,
+        }
+    }
+    if toks.get(i).map(|t| &t.kind) == Some(&Tok::Punct('[')) {
+        // `[[T; N]; M]` and friends: the inner element head.
+        return elem_head(toks, i + 1, bounds);
+    }
+    match last_path_segment(toks, i) {
+        Some((seg, _)) if !bounds.contains_key(&seg) && seg != "impl" && seg != "dyn" => seg,
+        _ => String::new(),
+    }
+}
+
+/// Walk a `a::b::C` path starting at `from`; returns the last segment
+/// and the index just past it. `None` when `from` is not an ident.
+fn last_path_segment(toks: &[Token], from: usize) -> Option<(String, usize)> {
+    let mut i = from;
+    let Some(Tok::Ident(mut seg)) = toks.get(i).map(|t| t.kind.clone()) else {
+        return None;
+    };
+    while toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+        && toks.get(i + 2).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+    {
+        match toks.get(i + 3).map(|t| &t.kind) {
+            Some(Tok::Ident(s)) => {
+                seg = s.clone();
+                i += 3;
+            }
+            _ => break,
+        }
+    }
+    Some((seg, i + 1))
+}
+
+/// Parse one fn's signature out of its recorded token range, merging
+/// impl-level and fn-level generic bounds.
+fn parse_sig(toks: &[Token], item: &FnItem) -> FnSig {
+    let (lo, hi) = item.sig;
+    let mut bounds: BTreeMap<String, Option<String>> = BTreeMap::new();
+    if let Some((olo, ohi)) = item.outer_header {
+        collect_header_bounds(toks, olo, ohi, &mut bounds);
+    }
+    collect_header_bounds(toks, lo, hi, &mut bounds);
+
+    let mut sig = FnSig::default();
+    // Find the param list: the first `(` after the name/generics.
+    let mut i = lo + 2;
+    if toks.get(i).map(|t| &t.kind) == Some(&Tok::Punct('<')) {
+        i = matching_angle(toks, i).map_or(hi, |c| c + 1);
+    }
+    if toks.get(i).map(|t| &t.kind) != Some(&Tok::Punct('(')) {
+        sig.bounds = bounds;
+        return sig;
+    }
+    let popen = i;
+    let pclose = matching_paren(toks, popen).unwrap_or(hi.min(toks.len().saturating_sub(1)));
+    // Split params on top-level commas.
+    let mut start = popen + 1;
+    let (mut ad, mut pd, mut sd, mut bd) = (0i32, 0i32, 0i32, 0i32);
+    let mut j = popen + 1;
+    while j <= pclose {
+        let boundary = j == pclose
+            || (toks[j].kind == Tok::Punct(',') && ad <= 0 && pd == 0 && sd == 0 && bd == 0);
+        if boundary {
+            if start < j {
+                if let Some((name, ty)) = parse_param(toks, start, j, &bounds) {
+                    sig.params.push((name, ty));
+                }
+            }
+            start = j + 1;
+        } else {
+            match toks[j].kind {
+                Tok::Punct('<') => ad += 1,
+                Tok::Punct('>') => ad -= 1,
+                Tok::Punct('(') => pd += 1,
+                Tok::Punct(')') => pd -= 1,
+                Tok::Punct('[') => sd += 1,
+                Tok::Punct(']') => sd -= 1,
+                Tok::Punct('{') => bd += 1,
+                Tok::Punct('}') => bd -= 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    // Return type: `-> Type` between the params and the body/where.
+    let mut k = pclose + 1;
+    while k + 1 < hi.min(toks.len()) {
+        if toks[k].kind == Tok::Punct('-') && toks[k + 1].kind == Tok::Punct('>') {
+            sig.ret = parse_type_head(toks, k + 2, &bounds);
+            break;
+        }
+        if matches!(&toks[k].kind, Tok::Ident(s) if s == "where") {
+            break;
+        }
+        k += 1;
+    }
+    sig.bounds = bounds;
+    sig
+}
+
+/// Collect generic bounds from a header range: the `<…>` list right
+/// after the introducing keyword's name and any `where` clause.
+fn collect_header_bounds(
+    toks: &[Token],
+    lo: usize,
+    hi: usize,
+    out: &mut BTreeMap<String, Option<String>>,
+) {
+    let hi = hi.min(toks.len());
+    // Generic list: first `<` before any `(`/`{`.
+    let mut i = lo;
+    while i < hi {
+        match toks[i].kind {
+            Tok::Punct('<') => {
+                if let Some(close) = matching_angle(toks, i) {
+                    collect_bounds(toks, i + 1, close.min(hi), out);
+                }
+                break;
+            }
+            Tok::Punct('(') | Tok::Punct('{') => break,
+            _ => i += 1,
+        }
+    }
+    // Where clause: from the `where` ident to the end of the range.
+    for w in lo..hi {
+        if matches!(&toks[w].kind, Tok::Ident(s) if s == "where") {
+            collect_bounds(toks, w + 1, hi, out);
+            break;
+        }
+    }
+}
+
+/// One `name: Type` parameter; receivers (`self` in any flavor) and
+/// pattern params return `None`.
+fn parse_param(
+    toks: &[Token],
+    lo: usize,
+    hi: usize,
+    bounds: &BTreeMap<String, Option<String>>,
+) -> Option<(String, TypeRef)> {
+    let mut i = lo;
+    while i < hi {
+        match &toks[i].kind {
+            Tok::Punct('&') | Tok::Lifetime => i += 1,
+            Tok::Ident(s) if s == "mut" => i += 1,
+            _ => break,
+        }
+    }
+    match toks.get(i).map(|t| &t.kind) {
+        Some(Tok::Ident(s)) if s == "self" => None,
+        Some(Tok::Ident(name)) if is_single_colon(toks, i + 1) => {
+            Some((name.clone(), parse_type_head(toks, i + 2, bounds)))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::items::parse_items;
+
+    fn index(src: &str) -> (Vec<FileItems>, TypeIndex) {
+        let files = vec![parse_items("crates/core/src/a.rs", src)];
+        let fns = CallGraph::fn_table(&files);
+        let idx = TypeIndex::build(&files, &fns);
+        (files, idx)
+    }
+
+    #[test]
+    fn struct_fields_and_heads_indexed() {
+        let (_, idx) = index(
+            "pub struct Lab { pending: Vec<Submission>, ring: Ring, n: u64 }\n\
+             struct Ring;\nenum Kind { A, B }\n",
+        );
+        assert!(
+            idx.types.contains("Lab") && idx.types.contains("Ring") && idx.types.contains("Kind")
+        );
+        assert_eq!(
+            idx.field_type(&TypeRef::Named("Lab".into()), "ring"),
+            TypeRef::Named("Ring".into())
+        );
+        assert_eq!(
+            idx.field_type(&TypeRef::Named("Lab".into()), "pending"),
+            TypeRef::Wraps("Submission".into())
+        );
+    }
+
+    #[test]
+    fn containers_track_element_heads() {
+        let (_, idx) = index(
+            "struct S {\n\
+                 a: Vec<Submission>,\n\
+                 b: HashMap<u64, Vec<u64>>,\n\
+                 c: Option<dhs_core::Config>,\n\
+                 d: BTreeMap<String, Ring>,\n\
+                 e: Vec<u64>,\n\
+             }\n\
+             fn f(xs: &[Ring], m: &mut HashMap<u64, Ring>) -> Option<Ring> { None }\n",
+        );
+        let s = TypeRef::Named("S".into());
+        assert_eq!(idx.field_type(&s, "a"), TypeRef::Wraps("Submission".into()));
+        // Maps track the value head; nested containers keep their own
+        // head name (still provably external).
+        assert_eq!(idx.field_type(&s, "b"), TypeRef::Wraps("Vec".into()));
+        assert_eq!(idx.field_type(&s, "c"), TypeRef::Wraps("Config".into()));
+        assert_eq!(idx.field_type(&s, "d"), TypeRef::Wraps("Ring".into()));
+        assert_eq!(idx.field_type(&s, "e"), TypeRef::Wraps("u64".into()));
+        let sig = &idx.sigs[0];
+        assert_eq!(sig.params[0], ("xs".into(), TypeRef::Wraps("Ring".into())));
+        assert_eq!(sig.params[1], ("m".into(), TypeRef::Wraps("Ring".into())));
+        assert_eq!(sig.ret, TypeRef::Wraps("Ring".into()));
+    }
+
+    #[test]
+    fn trait_decls_and_impls_indexed() {
+        let (_, idx) = index(
+            "trait Overlay {\n  fn owner_of(&self) -> u64;\n  fn size(&self) -> u64 { 0 }\n}\n\
+             struct Ring;\nimpl Overlay for Ring {\n  fn owner_of(&self) -> u64 { 1 }\n}\n",
+        );
+        let methods = idx.traits.get("Overlay").unwrap();
+        assert!(methods.contains("owner_of") && methods.contains("size"));
+        assert!(idx.impls_of.get("Overlay").unwrap().contains("Ring"));
+        assert_eq!(idx.methods[&("Ring".into(), "owner_of".into())].len(), 1);
+    }
+
+    #[test]
+    fn signatures_parse_params_returns_and_bounds() {
+        let (_, idx) = index(
+            "struct Ring;\n\
+             fn route<O: Overlay>(ring: &O, key: u64, r: &mut impl Rng) -> Ring { Ring }\n",
+        );
+        let sig = &idx.sigs[0];
+        assert_eq!(
+            sig.params[0],
+            ("ring".into(), TypeRef::Generic("Overlay".into()))
+        );
+        assert_eq!(sig.params[1], ("key".into(), TypeRef::Named("u64".into())));
+        assert_eq!(sig.params[2], ("r".into(), TypeRef::Generic("Rng".into())));
+        assert_eq!(sig.ret, TypeRef::Named("Ring".into()));
+    }
+
+    #[test]
+    fn impl_bounds_reach_method_sigs_and_self_ret() {
+        let (_, idx) = index(
+            "struct Engine;\n\
+             impl<T: Transport> Engine {\n  fn with(t: &mut T) -> Self { Engine }\n}\n",
+        );
+        let sig = &idx.sigs[0];
+        assert_eq!(
+            sig.params[0],
+            ("t".into(), TypeRef::Generic("Transport".into()))
+        );
+        assert_eq!(sig.ret, TypeRef::SelfTy);
+    }
+
+    #[test]
+    fn where_clause_and_path_types() {
+        let (_, idx) = index("fn run<O>(ring: &O, cfg: dhs_core::Config) where O: Overlay {}\n");
+        let sig = &idx.sigs[0];
+        assert_eq!(sig.params[0].1, TypeRef::Generic("Overlay".into()));
+        assert_eq!(sig.params[1].1, TypeRef::Named("Config".into()));
+    }
+
+    #[test]
+    fn unbounded_vars_and_tuples_stay_unknown() {
+        let (_, idx) = index("fn f<T>(x: T, y: (u64, u64)) {}\n");
+        let sig = &idx.sigs[0];
+        assert_eq!(
+            sig.params,
+            vec![
+                ("x".into(), TypeRef::Unknown),
+                ("y".into(), TypeRef::Unknown),
+            ]
+        );
+    }
+}

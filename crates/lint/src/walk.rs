@@ -54,6 +54,97 @@ fn collect(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
     Ok(())
 }
 
+/// Workspace member crate names parsed from the root `Cargo.toml`
+/// `[workspace] members` globs, normalized to the directory name
+/// directly under `crates/` (so `"crates/shims/*"` contributes
+/// `"shims"`), plus `"(root)"` when the manifest also declares a
+/// `[package]`. Sorted and deduplicated — the ground truth that
+/// `tests/workspace.rs` checks the rule-scope opt-out lists against,
+/// so they can never go stale the way the old hand-maintained
+/// allowlists did.
+pub fn workspace_members(root: &Path) -> io::Result<Vec<String>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let globs = toml_string_array(&manifest, "members");
+    let excludes = toml_string_array(&manifest, "exclude");
+    let mut out: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    if manifest.contains("[package]") {
+        out.insert("(root)".to_string());
+    }
+    for g in &globs {
+        let Some(rest) = g.strip_prefix("crates/") else {
+            continue;
+        };
+        let head = rest.split('/').next().unwrap_or("");
+        if head == "*" {
+            let dir = root.join("crates");
+            if !dir.is_dir() {
+                continue;
+            }
+            let mut names: Vec<String> = fs::read_dir(&dir)?
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .filter(|e| e.path().join("Cargo.toml").is_file())
+                .filter_map(|e| e.file_name().to_str().map(str::to_string))
+                .collect();
+            names.sort();
+            for name in names {
+                if !excludes.iter().any(|x| x == &format!("crates/{name}")) {
+                    out.insert(name);
+                }
+            }
+        } else {
+            out.insert(head.to_string());
+        }
+    }
+    Ok(out.into_iter().collect())
+}
+
+/// The crates the replay-path rules apply to: workspace members minus
+/// [`crate::rules::REPLAY_OPT_OUT`].
+pub fn derived_replay_crates(root: &Path) -> io::Result<Vec<String>> {
+    Ok(workspace_members(root)?
+        .into_iter()
+        .filter(|c| crate::rules::replay_scope(c))
+        .collect())
+}
+
+/// The crates the metric-name rule applies to: workspace members minus
+/// [`crate::rules::METRIC_NAME_OPT_OUT`].
+pub fn derived_metric_name_crates(root: &Path) -> io::Result<Vec<String>> {
+    Ok(workspace_members(root)?
+        .into_iter()
+        .filter(|c| crate::rules::metric_name_scope(c))
+        .collect())
+}
+
+/// The string elements of the first `key = [ … ]` array in `text`.
+/// Good enough for the workspace manifest this tool owns; no TOML
+/// dependency.
+fn toml_string_array(text: &str, key: &str) -> Vec<String> {
+    let Some(k) = text
+        .find(&format!("{key} = ["))
+        .or_else(|| text.find(&format!("{key}=[")))
+    else {
+        return Vec::new();
+    };
+    let rest = &text[k..];
+    let Some(open) = rest.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = rest[open..].find(']') else {
+        return Vec::new();
+    };
+    rest[open + 1..open + close]
+        .split(',')
+        .filter_map(|part| {
+            let part = part.trim();
+            part.strip_prefix('"')?
+                .strip_suffix('"')
+                .map(str::to_string)
+        })
+        .collect()
+}
+
 /// Locate the canonical name table (`crates/obs/src/names.rs`) under
 /// `root`, if present.
 pub fn find_names_source(root: &Path) -> Option<PathBuf> {

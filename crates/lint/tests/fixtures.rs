@@ -58,6 +58,21 @@ fn off_registry_metric_names_are_found() {
 }
 
 #[test]
+fn propagated_const_and_local_metric_names_are_found() {
+    check("metric_flow", "crates/core/src/metric_flow.rs");
+    // Both findings come from constant propagation, not the literal
+    // scan: the const concat and the single-assignment local resolve
+    // to non-canonical values; the poisoned `mut` binding is skipped.
+    let root = fixture_root();
+    let src = fs::read_to_string(root.join("crates/core/src/metric_flow.rs")).unwrap();
+    let findings = lint_source("fixtures/crates/core/src/metric_flow.rs", &src, &names());
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == "metric_names"));
+    assert!(findings[0].snippet.contains("BAD_NAME"), "{findings:#?}");
+    assert!(findings[1].snippet.contains("typo"), "{findings:#?}");
+}
+
+#[test]
 fn casual_panics_are_found() {
     check("panic_hygiene", "crates/dht/src/panics.rs");
 }

@@ -74,8 +74,70 @@ fn fully_plumbed_workspace_is_clean() {
 }
 
 #[test]
+fn receiver_types_split_same_name_methods_and_dispatch_inherits_taint() {
+    check("dispatch");
+    let got = run_case("dispatch");
+    // The typed resolution sends each `advance` call to its own impl:
+    // only the clocked chain and the dyn dispatch are tainted.
+    assert!(
+        got.contains("count_clocked -> Clocked::advance -> [SystemTime]"),
+        "{got}"
+    );
+    assert!(
+        got.contains("count_any -> Clocked::advance -> [SystemTime]"),
+        "{got}"
+    );
+    assert!(!got.contains("count_seeded"), "seeded impl is clean: {got}");
+    assert!(
+        !got.contains("count_registry"),
+        "chained receiver types to Seeded: {got}"
+    );
+    assert!(got.contains("\"ambiguous_calls\":0"), "{got}");
+}
+
+#[test]
+fn undraining_submit_is_a_leak_and_self_draining_fn_is_clean() {
+    check("protocol_submit");
+    let got = run_case("protocol_submit");
+    assert_eq!(
+        got.matches("protocol-submit-completion").count(),
+        1,
+        "{got}"
+    );
+    assert!(!got.contains("fire_and_drain"), "{got}");
+}
+
+#[test]
+fn draws_and_recorder_calls_inside_the_inflight_window_are_flagged() {
+    check("protocol_effects");
+    let got = run_case("protocol_effects");
+    assert_eq!(got.matches("protocol-inflight-effects").count(), 2, "{got}");
+}
+
+#[test]
+fn direct_sync_exchange_outside_machine_modules_is_flagged() {
+    check("protocol_exchange");
+    let got = run_case("protocol_exchange");
+    assert_eq!(got.matches("protocol-sync-exchange").count(), 2, "{got}");
+    assert!(
+        !got.contains("exec_send"),
+        "approved module is clean: {got}"
+    );
+}
+
+#[test]
 fn flow_analysis_is_deterministic_per_case() {
-    for case in ["cycles", "dropped", "entropy", "flow_clean", "plumbing"] {
+    for case in [
+        "cycles",
+        "dispatch",
+        "dropped",
+        "entropy",
+        "flow_clean",
+        "plumbing",
+        "protocol_effects",
+        "protocol_exchange",
+        "protocol_submit",
+    ] {
         assert_eq!(run_case(case), run_case(case), "case `{case}`");
     }
 }

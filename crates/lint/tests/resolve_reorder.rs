@@ -1,0 +1,127 @@
+#![allow(clippy::cast_possible_truncation)] // shuffle indices fit usize
+//! Property: per-site resolution outcomes are invariant under
+//! top-level item declaration reordering. The type index is built in a
+//! declaration-order-independent way (BTreeMaps keyed by name), so
+//! shuffling structs, impls, traits, `use` lines, and free fns within
+//! each file must not change how any call site classifies.
+
+use dhs_lint::callgraph::CallGraph;
+use dhs_lint::items::{parse_items, FileItems};
+use proptest::prelude::*;
+
+/// Top-level items of the machine-module file, one string each.
+const LAB_ITEMS: &[&str] = &[
+    "pub struct CompletionLab {\n    pending: u64,\n    tags: Vec<u32>,\n}",
+    "impl CompletionLab {\n    pub fn submit(&mut self, tag: u32) {\n        self.tags.push(tag);\n    }\n    pub fn pop_fifo(&mut self) -> u64 {\n        self.pending\n    }\n}",
+    "pub fn lab_len(lab: &CompletionLab) -> u64 {\n    lab.pending\n}",
+];
+
+/// Top-level items of the caller file: same-name methods on two types,
+/// trait dispatch, a chained receiver, a container-typed local, and a
+/// free call — every dispatch path the resolver implements.
+const NODE_ITEMS: &[&str] = &[
+    "use dhs_par::lab::CompletionLab;",
+    "pub trait Step {\n    fn advance(&mut self) -> u64;\n}",
+    "pub struct Seeded {\n    state: u64,\n}",
+    "impl Step for Seeded {\n    fn advance(&mut self) -> u64 {\n        self.state += 1;\n        self.state\n    }\n}",
+    "pub struct Clocked {\n    last: u64,\n}",
+    "impl Step for Clocked {\n    fn advance(&mut self) -> u64 {\n        self.last\n    }\n}",
+    "pub struct Registry {\n    seeded: Seeded,\n}",
+    "impl Registry {\n    pub fn seeded(&mut self) -> &mut Seeded {\n        &mut self.seeded\n    }\n}",
+    "pub fn count_seeded(s: &mut Seeded) -> u64 {\n    s.advance()\n}",
+    "pub fn count_any(n: &mut dyn Step) -> u64 {\n    n.advance()\n}",
+    "pub fn count_registry(reg: &mut Registry) -> u64 {\n    reg.seeded().advance()\n}",
+    "pub fn count_all(labs: &mut Vec<CompletionLab>, lab: &mut CompletionLab) -> u64 {\n    lab.submit(1);\n    let head = labs.first_mut().unwrap();\n    head.submit(2);\n    lab.pop_fifo() + lab_len(lab)\n}",
+];
+
+/// splitmix64 step, for a deterministic in-test shuffle.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Fisher–Yates with a seeded splitmix64 stream.
+fn shuffled(items: &[&str], state: &mut u64) -> String {
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    for i in (1..idx.len()).rev() {
+        let j = (next(state) % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    let mut out = String::new();
+    for i in idx {
+        out.push_str(items[i]);
+        out.push_str("\n\n");
+    }
+    out
+}
+
+/// The order-free signature of a resolved corpus: sorted
+/// `(caller qual, callee name, kind)` triples.
+fn outcomes(sources: &[(String, String)]) -> Vec<(String, String, String)> {
+    let files: Vec<FileItems> = sources.iter().map(|(p, s)| parse_items(p, s)).collect();
+    let g = CallGraph::build(&files);
+    let mut out: Vec<(String, String, String)> = g
+        .sites
+        .iter()
+        .map(|s| {
+            let r = g.fns[s.caller];
+            (
+                files[r.file].fns[r.item].qual_name.clone(),
+                s.name.clone(),
+                format!("{:?}", s.kind),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn corpus(seed: Option<u64>) -> Vec<(String, String)> {
+    let mut state = seed.unwrap_or(0);
+    let (lab, nodes) = match seed {
+        Some(_) => (
+            shuffled(LAB_ITEMS, &mut state),
+            shuffled(NODE_ITEMS, &mut state),
+        ),
+        None => (
+            LAB_ITEMS.join("\n\n") + "\n",
+            NODE_ITEMS.join("\n\n") + "\n",
+        ),
+    };
+    vec![
+        ("crates/par/src/lab.rs".to_string(), lab),
+        ("crates/dht/src/nodes.rs".to_string(), nodes),
+    ]
+}
+
+#[test]
+fn declaration_order_corpus_resolves_every_dispatch_shape() {
+    let base = outcomes(&corpus(None));
+    let has = |caller: &str, name: &str, kind: &str| {
+        base.iter()
+            .any(|(c, n, k)| c == caller && n == name && k == kind)
+    };
+    assert!(has("count_seeded", "advance", "Resolved"), "{base:#?}");
+    assert!(has("count_any", "advance", "Dispatch"), "{base:#?}");
+    assert!(has("count_registry", "advance", "Resolved"), "{base:#?}");
+    assert!(has("count_all", "submit", "Resolved"), "{base:#?}");
+    assert!(has("count_all", "lab_len", "Resolved"), "{base:#?}");
+    assert!(
+        !base.iter().any(|(_, _, k)| k == "Ambiguous"),
+        "corpus should fully resolve: {base:#?}"
+    );
+}
+
+proptest! {
+    /// Shuffling top-level declarations never changes any site's
+    /// classification.
+    #[test]
+    fn resolution_outcomes_survive_item_reordering(seed in any::<u64>()) {
+        let base = outcomes(&corpus(None));
+        let permuted = outcomes(&corpus(Some(seed)));
+        prop_assert_eq!(permuted, base);
+    }
+}

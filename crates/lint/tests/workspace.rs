@@ -49,6 +49,32 @@ fn real_workspace_flow_has_zero_findings() {
 }
 
 #[test]
+fn opt_out_lists_stay_subsets_of_the_real_member_list() {
+    // The scopes are *derived* from Cargo.toml members minus explicit
+    // opt-outs; an opt-out naming a crate that no longer exists is a
+    // stale entry this test forces someone to delete.
+    let members = dhs_lint::workspace_members(workspace_root()).unwrap();
+    assert!(members.len() >= 10, "member parse broke: {members:?}");
+    for c in dhs_lint::rules::REPLAY_OPT_OUT {
+        assert!(
+            members.iter().any(|m| m == c),
+            "stale REPLAY_OPT_OUT entry `{c}`"
+        );
+    }
+    for c in dhs_lint::rules::METRIC_NAME_OPT_OUT {
+        assert!(
+            members.iter().any(|m| m == c),
+            "stale METRIC_NAME_OPT_OUT entry `{c}`"
+        );
+    }
+    // And the derived scopes are exactly members minus opt-outs.
+    let replay = dhs_lint::walk::derived_replay_crates(workspace_root()).unwrap();
+    assert!(replay.contains(&"core".to_string()) && !replay.contains(&"bench".to_string()));
+    let metric = dhs_lint::walk::derived_metric_name_crates(workspace_root()).unwrap();
+    assert!(metric.contains(&"bench".to_string()) && !metric.contains(&"sketch".to_string()));
+}
+
+#[test]
 fn two_flow_runs_are_byte_identical() {
     let (f1, s1) = flow_workspace(workspace_root()).unwrap();
     let (f2, s2) = flow_workspace(workspace_root()).unwrap();

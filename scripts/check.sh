@@ -28,6 +28,31 @@ cargo run --release --quiet -p dhs-lint -- --flow > "$flow_b"
 cmp "$flow_a" "$flow_b"
 echo "dhs-lint --flow: clean, two runs byte-identical"
 
+# Call-resolution ratchet: the type-aware resolver's ambiguity count
+# must never rise and its resolution rate must never fall against the
+# committed baseline (crates/lint/baseline_resolution.txt). Improvements
+# are allowed — ratchet them in by regenerating the baseline with
+# `cargo run -p dhs-lint -- --stats > crates/lint/baseline_resolution.txt`.
+stats_now=$(mktemp)
+trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$stats_now"' EXIT
+cargo run --release --quiet -p dhs-lint -- --stats > "$stats_now"
+stat_of() { awk -v k="$2" '$1 == k { print $2 }' "$1"; }
+base_amb=$(stat_of crates/lint/baseline_resolution.txt ambiguous_calls)
+base_rate=$(stat_of crates/lint/baseline_resolution.txt resolution_rate_bp)
+now_amb=$(stat_of "$stats_now" ambiguous_calls)
+now_rate=$(stat_of "$stats_now" resolution_rate_bp)
+[ -n "$base_amb" ] && [ -n "$base_rate" ] && [ -n "$now_amb" ] && [ -n "$now_rate" ]
+if [ "$now_amb" -gt "$base_amb" ] || [ "$now_rate" -lt "$base_rate" ]; then
+  echo "resolution ratchet FAILED: ambiguous_calls $base_amb -> $now_amb," \
+       "resolution_rate_bp $base_rate -> $now_rate" >&2
+  exit 1
+fi
+if [ "$now_amb" -lt "$base_amb" ] || [ "$now_rate" -gt "$base_rate" ]; then
+  echo "resolution improved (ambiguous_calls $base_amb -> $now_amb," \
+       "resolution_rate_bp $base_rate -> $now_rate): consider ratcheting the baseline"
+fi
+echo "dhs-lint --stats: resolution ratchet holds ($now_amb ambiguous, ${now_rate}bp)"
+
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 cargo build --workspace --examples
@@ -42,7 +67,7 @@ DHS_BENCH_MS=25 cargo bench --workspace --quiet
 # (metrics JSONL, span digests, load table and all).
 run_a=$(mktemp)
 run_b=$(mktemp)
-trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$run_a" "$run_b"' EXIT
+trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$stats_now" "$run_a" "$run_b"' EXIT
 cargo run --release --quiet --example observability > "$run_a"
 cargo run --release --quiet --example observability > "$run_b"
 cmp "$run_a" "$run_b"
@@ -55,7 +80,7 @@ echo "observability example: two runs byte-identical"
 # must agree exactly.
 shard_a=$(mktemp)
 shard_b=$(mktemp)
-trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$run_a" "$run_b" "$shard_a" "$shard_b"' EXIT
+trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$stats_now" "$run_a" "$run_b" "$shard_a" "$shard_b"' EXIT
 export DHS_SHARD_METRICS="${DHS_SHARD_METRICS:-20000}"
 cargo run --release --quiet -p dhs-bench --bin repro -- bench-shard --out "$shard_a" > /dev/null
 cargo run --release --quiet -p dhs-bench --bin repro -- bench-shard --out "$shard_b" > /dev/null
@@ -75,7 +100,7 @@ echo "shard scenario (DHS_SHARD_METRICS=$DHS_SHARD_METRICS): equivalent, two run
 # two thread counts (the dhs-par thread-count-invariance contract).
 sat_a=$(mktemp)
 sat_b=$(mktemp)
-trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$run_a" "$run_b" "$shard_a" "$shard_b" "$sat_a" "$sat_b"' EXIT
+trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$stats_now" "$run_a" "$run_b" "$shard_a" "$shard_b" "$sat_a" "$sat_b"' EXIT
 export DHS_SAT_METRICS="${DHS_SAT_METRICS:-5000}"
 cargo run --release --quiet -p dhs-bench --bin repro -- saturation > "$sat_a"
 cargo run --release --quiet -p dhs-bench --bin repro -- saturation > "$sat_b"
@@ -92,7 +117,7 @@ echo "saturation scenario (DHS_SAT_METRICS=$DHS_SAT_METRICS): digest thread-coun
 # digest_invariant KPI re-checks thread-count invariance under --gate.
 abl_a=$(mktemp)
 abl_b=$(mktemp)
-trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$run_a" "$run_b" "$shard_a" "$shard_b" "$sat_a" "$sat_b" "$abl_a" "$abl_b"' EXIT
+trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$stats_now" "$run_a" "$run_b" "$shard_a" "$shard_b" "$sat_a" "$sat_b" "$abl_a" "$abl_b"' EXIT
 cargo run --release --quiet -p dhs-bench --bin repro -- ablate smoke smoke-saturation --gate > "$abl_a"
 cargo run --release --quiet -p dhs-bench --bin repro -- ablate smoke smoke-saturation --gate > "$abl_b"
 cmp "$abl_a" "$abl_b"
