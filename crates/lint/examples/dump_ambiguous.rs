@@ -1,5 +1,6 @@
 //! Developer tool: list the call names that remain ambiguous after
-//! type-aware resolution, most frequent first, with one example site
+//! type-aware resolution, bucketed by cause so the next precision
+//! target is data-driven, most frequent first, with one example site
 //! each. Run as:
 //!
 //! ```text
@@ -10,9 +11,110 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use dhs_lint::callgraph::CallGraph;
+use dhs_lint::items::FileItems;
+use dhs_lint::lexer::Tok;
 use dhs_lint::resolve::SiteKind;
 use dhs_lint::rules::classify;
 use dhs_lint::walk::rust_sources;
+
+/// Why a site stayed ambiguous, by syntactic shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Cause {
+    /// Method call whose receiver head is a closure parameter the
+    /// element-typing pass could not bind.
+    ClosureParam,
+    /// Method call with a multi-candidate set on an untyped receiver:
+    /// would resolve by dispatch if the receiver typed.
+    Dispatch,
+    /// Site inside a macro invocation's delimiters.
+    Macro,
+    /// Everything else (free-call fallbacks, path quirks).
+    Other,
+}
+
+fn label(c: Cause) -> &'static str {
+    match c {
+        Cause::ClosureParam => "closure-param",
+        Cause::Dispatch => "dispatch",
+        Cause::Macro => "macro",
+        Cause::Other => "other",
+    }
+}
+
+/// Idents appearing in closure parameter lists anywhere in `[open, close)`.
+fn closure_param_names(file: &FileItems, open: usize, close: usize) -> Vec<String> {
+    let toks = &file.tokens;
+    let mut names = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        // A `|` opening a closure follows `(`, `,`, `=`, `{`, or `move`.
+        let opens_closure = toks[j].kind == Tok::Punct('|')
+            && j > 0
+            && matches!(
+                &toks[j - 1].kind,
+                Tok::Punct('(') | Tok::Punct(',') | Tok::Punct('=') | Tok::Punct('{')
+            )
+            || matches!(&toks[j].kind, Tok::Ident(s) if s == "move");
+        if !opens_closure {
+            j += 1;
+            continue;
+        }
+        let bar = if toks[j].kind == Tok::Punct('|') {
+            j
+        } else if toks.get(j + 1).map(|t| &t.kind) == Some(&Tok::Punct('|')) {
+            j + 1
+        } else {
+            j += 1;
+            continue;
+        };
+        let mut k = bar + 1;
+        while k < close && toks[k].kind != Tok::Punct('|') {
+            if let Tok::Ident(n) = &toks[k].kind {
+                names.push(n.clone());
+            }
+            k += 1;
+        }
+        j = k + 1;
+    }
+    names
+}
+
+/// Is token `at` inside a macro invocation's delimiters?
+fn inside_macro(file: &FileItems, open: usize, at: usize) -> bool {
+    let toks = &file.tokens;
+    let mut j = open;
+    while j + 2 < at {
+        if matches!(&toks[j].kind, Tok::Ident(_)) && toks[j + 1].kind == Tok::Punct('!') {
+            if let Some(Tok::Punct(o @ ('(' | '[' | '{'))) = toks.get(j + 2).map(|t| &t.kind) {
+                let close_ch = match o {
+                    '(' => ')',
+                    '[' => ']',
+                    _ => '}',
+                };
+                let mut depth = 0usize;
+                let mut k = j + 2;
+                while k < toks.len() {
+                    if toks[k].kind == Tok::Punct(*o) {
+                        depth += 1;
+                    } else if toks[k].kind == Tok::Punct(close_ch) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                if at > j + 2 && at < k {
+                    return true;
+                }
+                j = k;
+                continue;
+            }
+        }
+        j += 1;
+    }
+    false
+}
 
 fn main() {
     let root = std::env::args()
@@ -25,37 +127,64 @@ fn main() {
         let source = std::fs::read_to_string(root.join(&rel)).expect("read source");
         inputs.push((rel, source));
     }
-    let parsed: Vec<dhs_lint::items::FileItems> = inputs
+    let parsed: Vec<FileItems> = inputs
         .iter()
         .map(|(rel, source)| dhs_lint::items::parse_items(rel, source))
         .filter(|f| dhs_lint::rules::flow_scope(&classify(&f.path)))
         .collect();
     let graph = CallGraph::build(&parsed);
-    let mut by_name: BTreeMap<&str, (usize, String)> = BTreeMap::new();
+
+    let mut buckets: BTreeMap<Cause, usize> = BTreeMap::new();
+    let mut by_name: BTreeMap<(Cause, &str), (usize, String)> = BTreeMap::new();
     for site in &graph.sites {
         if site.kind != SiteKind::Ambiguous {
             continue;
         }
+        let f = &graph.fns[site.caller];
+        let file = &parsed[f.file];
+        let item = &file.fns[f.item];
+        let (open, close) = item.body.unwrap_or((site.tok, site.tok));
+        let is_method = site.tok > 0 && file.tokens[site.tok - 1].kind == Tok::Punct('.');
+        let head_is_closure_param = is_method && {
+            let params = closure_param_names(file, open, close);
+            match file.tokens.get(site.tok.wrapping_sub(2)).map(|t| &t.kind) {
+                Some(Tok::Ident(h)) => params.iter().any(|p| p == h),
+                _ => false,
+            }
+        };
+        let cause = if head_is_closure_param {
+            Cause::ClosureParam
+        } else if inside_macro(file, open, site.tok) {
+            Cause::Macro
+        } else if is_method && site.candidates.len() > 1 {
+            Cause::Dispatch
+        } else {
+            Cause::Other
+        };
+        *buckets.entry(cause).or_insert(0) += 1;
         let e = by_name
-            .entry(site.name.as_str())
+            .entry((cause, site.name.as_str()))
             .or_insert_with(|| (0, String::new()));
         e.0 += 1;
         if e.1.is_empty() {
-            let f = &graph.fns[site.caller];
             e.1 = format!(
                 "{}:{} in {}",
-                parsed[f.file].path,
-                parsed[f.file].fns[f.item].line,
-                parsed[f.file].fns[f.item].name
+                file.path, file.tokens[site.tok].line, item.name
             );
         }
     }
-    let mut rows: Vec<(usize, &str, String)> =
-        by_name.into_iter().map(|(n, (c, ex))| (c, n, ex)).collect();
-    rows.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
-    let total: usize = rows.iter().map(|r| r.0).sum();
+
+    let total: usize = buckets.values().sum();
     println!("total ambiguous sites: {total}");
-    for (count, name, example) in rows {
-        println!("{count:5}  {name:28} e.g. {example}");
+    for (cause, count) in &buckets {
+        println!("  {:14} {count}", label(*cause));
+    }
+    let mut rows: Vec<(usize, Cause, &str, String)> = by_name
+        .into_iter()
+        .map(|((c, n), (count, ex))| (count, c, n, ex))
+        .collect();
+    rows.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(b.2)));
+    for (count, cause, name, example) in rows {
+        println!("{count:5}  {:14} {name:24} e.g. {example}", label(cause));
     }
 }

@@ -1,0 +1,56 @@
+//! Developer tool: list every narrowing `as` cast in flow-scope files
+//! with the cast-range pass's verdict — proven / unknown / truncates —
+//! grouped per file, so widening the interval transfer functions (or
+//! the fact file) is data-driven. Run as:
+//!
+//! ```text
+//! cargo run -p dhs-lint --example dump_casts [workspace-root]
+//! ```
+
+use std::path::PathBuf;
+
+use dhs_lint::absint::{cast_verdicts, Verdict};
+use dhs_lint::items::parse_items;
+use dhs_lint::rules::flow_scope;
+use dhs_lint::walk::rust_sources;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let sources = rust_sources(&root).expect("walk workspace");
+    let files: Vec<_> = sources
+        .iter()
+        .map(|rel| {
+            let src = std::fs::read_to_string(root.join(rel)).expect("read source");
+            parse_items(rel, &src)
+        })
+        .filter(|f| flow_scope(&f.class))
+        .collect();
+
+    let verdicts = cast_verdicts(&files);
+    let (mut proven, mut unknown, mut truncates) = (0usize, 0usize, 0usize);
+    for v in &verdicts {
+        match v.verdict {
+            Verdict::Proven => proven += 1,
+            Verdict::Unknown => unknown += 1,
+            Verdict::Truncates => truncates += 1,
+        }
+    }
+    println!(
+        "{} narrowing casts: {proven} proven, {unknown} unknown, {truncates} truncating",
+        verdicts.len()
+    );
+    let mut last_path = "";
+    for v in &verdicts {
+        if v.verdict == Verdict::Proven {
+            continue;
+        }
+        if v.path != last_path {
+            println!("{}", v.path);
+            last_path = &v.path;
+        }
+        println!("  {:>5}  as {:<6} {:?}", v.line, v.target, v.verdict);
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: cast-range interval verdicts — masked/bounded casts prove
+//! safe, a constant-propagated oversized operand is a seeded
+//! violation, and unbounded operands stay untriaged.
+
+/// Register payload width: 1 << 20 exceeds u16 on every run.
+const OVERSIZED: u32 = 1 << 20;
+
+/// Proven safe: mask, modulo, `min`, and a fact-bounded field.
+pub fn pack(cfg: &Config, raw: u64) -> u64 {
+    let masked = (raw & 0xFFFF) as u16;
+    let wrapped = (raw % 256) as u8;
+    let clamped = raw.min(200) as u8;
+    let buckets = cfg.m as u32;
+    u64::from(masked) + u64::from(wrapped) + u64::from(clamped) + u64::from(buckets)
+}
+
+/// VIOLATION: a const-propagated operand that cannot fit u16.
+pub fn truncate_const() -> u16 {
+    OVERSIZED as u16
+}
+
+/// VIOLATION: a let-bound literal above the target range.
+pub fn truncate_let() -> u16 {
+    let big = 70_000u32;
+    big as u16
+}
+
+/// Untriaged: the operand is unbounded, so the pass stays silent
+/// either way (the token-level `lossy_cast` rule owns this site).
+pub fn passthrough(raw: u64) -> u32 {
+    raw as u32
+}

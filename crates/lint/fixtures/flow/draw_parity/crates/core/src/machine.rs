@@ -1,0 +1,61 @@
+//! Fixture: seeded rng-draw-parity violations in a machine module —
+//! the hint-elision bug class where one branch of a scan consumes a
+//! different number of RNG draws than its sibling.
+
+/// VIOLATION: the hinted path draws once, the cold path twice.
+pub fn step_hinted(rng: &mut impl Rng, hinted: bool) -> u64 {
+    if hinted {
+        rng.gen::<u64>()
+    } else {
+        rng.gen::<u64>() ^ rng.gen::<u64>()
+    }
+}
+
+/// VIOLATION through the call graph: the refill arm reaches a callee
+/// that draws, the fast arm draws nothing (1 vs 0).
+pub fn refill_on_miss(rng: &mut impl Rng, miss: bool) -> u64 {
+    if miss {
+        draw_base(rng)
+    } else {
+        0
+    }
+}
+
+fn draw_base(rng: &mut impl Rng) -> u64 {
+    rng.gen_range(0..64)
+}
+
+/// Clean: both the skip arm and the fall-through consume exactly one
+/// draw per iteration (the `continue` shape the dynamic harness
+/// exercises).
+pub fn scan_balanced(rng: &mut impl Rng, n: u64) -> u64 {
+    let mut acc = 0;
+    for i in 0..n {
+        if i % 2 == 0 {
+            acc ^= rng.gen::<u64>();
+            continue;
+        }
+        acc ^= rng.gen::<u64>();
+    }
+    acc
+}
+
+/// Clean: equal constant draw counts through different callees.
+pub fn either_way(rng: &mut impl Rng, flip: bool) -> u64 {
+    if flip {
+        draw_base(rng)
+    } else {
+        rng.gen::<u64>()
+    }
+}
+
+/// Annotated: intentional divergence, silenced by the escape hatch.
+// dhs-flow: allow(rng-draw-parity) — the probe path deliberately
+// consumes no draw; divergence is covered by a replay test.
+pub fn probe_or_draw(rng: &mut impl Rng, probe: bool) -> u64 {
+    if probe {
+        0
+    } else {
+        rng.gen::<u64>()
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: the same divergent shape outside the machine-reachable
+//! scope — the parity pass must not analyze or flag it.
+
+/// Unflagged: not reachable from a machine module.
+pub fn jitter(rng: &mut impl Rng, warm: bool) -> u64 {
+    if warm {
+        rng.gen::<u64>()
+    } else {
+        rng.gen::<u64>() ^ rng.gen::<u64>()
+    }
+}

@@ -1,0 +1,1507 @@
+//! dhs-absint: forward abstract interpretation over [`crate::cfg`]
+//! graphs, powering two whole-program passes.
+//!
+//! **`rng-draw-parity`** — the static twin of the dynamic
+//! `hinted_scan_consumes_identical_rng_draws` gate. For every fn
+//! reachable from the scan/insert machine modules
+//! ([`crate::protocol::MACHINE_MODULES`]) it computes, per control-flow
+//! path, a symbolic RNG draw count: direct `.gen(`-style draws count 1
+//! (`fill`/`shuffle` are unknown), call sites contribute their callee's
+//! memoized summary through the typed graph (dispatch/ambiguous sets
+//! contribute only when every candidate agrees on a constant). A
+//! divergence finding fires when both sides of an `if` have a *known,
+//! constant, unequal* draw count — the skipped-rank bug class from the
+//! PR 3 elision cache, caught before any test runs. Draws under a loop
+//! or inside a closure make the enclosing count unknown (they may
+//! repeat), which silences rather than fabricates findings: the pass
+//! over-approximates toward "don't know", never toward a false alarm.
+//!
+//! **`cast-range`** — interval analysis that discharges triaged
+//! `lossy_cast` allows. Casts `expr as u8/u16/u32/usize` are evaluated
+//! over unsigned intervals: literals are exact, arithmetic follows Rust
+//! precedence, `.field`/`.method()` accesses take their bound from the
+//! fact file `crates/lint/range_facts.txt` (config-validated
+//! invariants like `m ≤ 2^16`), and simple single-assignment `let`
+//! bindings propagate. A cast whose operand provably fits is counted
+//! `casts_proven_safe`; one whose operand provably *cannot* fit
+//! (interval entirely above the target max) is a `cast-range` finding
+//! that needs `dhs_core::checked_cast`. Everything in between stays
+//! behind its `lossy_cast` allow. `usize` is bounded as `u32::MAX` so
+//! verdicts hold on 32-bit targets too.
+//!
+//! Both passes are deterministic: fns are visited in table order,
+//! blocks in creation order, and every verdict derives from sorted
+//! structures — two runs emit byte-identical findings.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{CallGraph, FnId};
+use crate::cfg::{closure_spans, BranchKind, Cfg};
+use crate::flow::DRAW_METHODS;
+use crate::items::{FileItems, FnItem};
+use crate::lexer::{Tok, Token};
+use crate::protocol::{strip, MACHINE_MODULES};
+use crate::resolve::{matching_delim, rmatching_delim, SiteKind};
+use crate::rules::Finding;
+
+// ---------------------------------------------------------------------
+// rng-draw-parity
+// ---------------------------------------------------------------------
+
+/// A fn's symbolic RNG draw count per invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Count {
+    /// Exactly `n` draws on every path.
+    Const(u64),
+    /// Path-dependent, loop-repeated, closure-deferred, or unresolvable.
+    Unknown,
+}
+
+/// Cap on distinct per-path totals tracked for one block before the
+/// set widens to unknown.
+const MAX_PATH_COUNTS: usize = 8;
+
+/// Run the draw-parity pass. Returns the number of in-scope fns
+/// analyzed (the `draw_parity_fns` ratchet counter).
+pub fn draw_parity(files: &[FileItems], g: &CallGraph, out: &mut Vec<Finding>) -> usize {
+    let mut a = DrawAnalysis::new(files, g);
+    // Scope: everything reachable from fns defined in the machine
+    // modules, over resolved + dispatch + ambiguous edges.
+    let fwd = g.forward_over_approx();
+    let mut in_scope = vec![false; g.fns.len()];
+    let mut work: Vec<FnId> = (0..g.fns.len())
+        .filter(|&id| MACHINE_MODULES.contains(&strip(&files[g.fns[id].file].path)))
+        .collect();
+    for &s in &work {
+        in_scope[s] = true;
+    }
+    while let Some(v) = work.pop() {
+        for &w in &fwd[v] {
+            if !in_scope[w] {
+                in_scope[w] = true;
+                work.push(w);
+            }
+        }
+    }
+
+    let mut analyzed = 0usize;
+    for (id, _) in in_scope.iter().enumerate().filter(|(_, s)| **s) {
+        let r = g.fns[id];
+        let file = &files[r.file];
+        let f = &file.fns[r.item];
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        analyzed += 1;
+        let cfg = Cfg::build(&file.tokens, open, close);
+        let draws = a.block_draws(&cfg, id);
+        let mut memo = vec![None; cfg.blocks.len()];
+        for blk in &cfg.blocks {
+            let Some(br) = &blk.branch else { continue };
+            if br.kind != BranchKind::If {
+                continue;
+            }
+            // Sibling comparison: then-arm vs else-arm, or vs the
+            // fall-through join when there is no else. Totals run to
+            // the exit / back-edge cut, so shared downstream draws
+            // cancel and only the arm difference shows.
+            let then = br.arms[0];
+            let other = br.arms.get(1).copied().unwrap_or(br.join);
+            let t = path_totals(&cfg, &draws, then, &mut memo);
+            let o = path_totals(&cfg, &draws, other, &mut memo);
+            let (Some(ts), Some(os)) = (t, o) else {
+                continue;
+            };
+            if ts.len() != 1 || os.len() != 1 || ts == os {
+                continue;
+            }
+            let line = file.tokens[br.tok].line;
+            if f.allows("rng-draw-parity")
+                || file
+                    .flow_allows
+                    .get(&line)
+                    .is_some_and(|rules| rules.contains("rng-draw-parity"))
+            {
+                continue;
+            }
+            let (tc, oc) = (
+                ts.first().expect("singleton"),
+                os.first().expect("singleton"),
+            );
+            out.push(Finding {
+                path: file.path.clone(),
+                line,
+                rule: "rng-draw-parity",
+                snippet: format!(
+                    "{}: branch RNG draw counts diverge: {tc} vs {oc}",
+                    f.qual_name
+                ),
+            });
+        }
+    }
+    analyzed
+}
+
+/// Per-path draw totals from block `b` to every path end (exit, dead
+/// end, or back-edge cut — back edges contribute nothing, which is
+/// sound because loop-repeated draws already widened the block to
+/// unknown). `None` = unknown.
+fn path_totals(
+    cfg: &Cfg,
+    draws: &[Option<u64>],
+    b: usize,
+    memo: &mut Vec<Option<Option<BTreeSet<u64>>>>,
+) -> Option<BTreeSet<u64>> {
+    if let Some(r) = &memo[b] {
+        return r.clone();
+    }
+    // Mark in-progress to stay total even if a malformed stream ever
+    // produced a forward cycle (real back edges are kept out of succs).
+    memo[b] = Some(None);
+    let r = (|| {
+        let d = draws[b]?;
+        if cfg.blocks[b].succs.is_empty() {
+            return Some(BTreeSet::from([d]));
+        }
+        let mut set = BTreeSet::new();
+        for &s in &cfg.blocks[b].succs {
+            for v in path_totals(cfg, draws, s, memo)? {
+                set.insert(d.saturating_add(v));
+            }
+        }
+        (set.len() <= MAX_PATH_COUNTS).then_some(set)
+    })();
+    memo[b] = Some(r.clone());
+    r
+}
+
+/// Memoized per-fn draw summaries over the typed call graph.
+struct DrawAnalysis<'a> {
+    files: &'a [FileItems],
+    g: &'a CallGraph,
+    memo: Vec<Option<Count>>,
+    active: Vec<bool>,
+    /// caller → indices into `g.sites`, ascending by token.
+    by_caller: BTreeMap<FnId, Vec<usize>>,
+}
+
+impl<'a> DrawAnalysis<'a> {
+    fn new(files: &'a [FileItems], g: &'a CallGraph) -> Self {
+        let mut by_caller: BTreeMap<FnId, Vec<usize>> = BTreeMap::new();
+        for (i, s) in g.sites.iter().enumerate() {
+            by_caller.entry(s.caller).or_default().push(i);
+        }
+        for v in by_caller.values_mut() {
+            v.sort_by_key(|&i| g.sites[i].tok);
+        }
+        DrawAnalysis {
+            files,
+            g,
+            memo: vec![None; g.fns.len()],
+            active: vec![false; g.fns.len()],
+            by_caller,
+        }
+    }
+
+    /// The fn's per-invocation draw count. Cycles resolve to unknown.
+    fn summary(&mut self, id: FnId) -> Count {
+        if let Some(c) = self.memo[id] {
+            return c;
+        }
+        if self.active[id] {
+            return Count::Unknown;
+        }
+        self.active[id] = true;
+        let c = self.compute(id);
+        self.active[id] = false;
+        self.memo[id] = Some(c);
+        c
+    }
+
+    fn compute(&mut self, id: FnId) -> Count {
+        let r = self.g.fns[id];
+        let file: &'a FileItems = &self.files[r.file];
+        let Some((open, close)) = file.fns[r.item].body else {
+            // Bodyless trait declaration: impls may draw.
+            return Count::Unknown;
+        };
+        let cfg = Cfg::build(&file.tokens, open, close);
+        let draws = self.block_draws(&cfg, id);
+        // Any drawing (or unknown) block under a loop repeats an
+        // unknown number of times.
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            if blk.in_loop && draws[b] != Some(0) {
+                return Count::Unknown;
+            }
+        }
+        let mut memo = vec![None; cfg.blocks.len()];
+        match path_totals(&cfg, &draws, cfg.entry, &mut memo) {
+            Some(s) if s.len() == 1 => Count::Const(*s.first().expect("singleton")),
+            _ => Count::Unknown,
+        }
+    }
+
+    /// Draw count of every block: direct draw tokens plus call-site
+    /// summaries; `None` = unknown. Draws reached only through a
+    /// closure poison their block (the closure may run 0..n times).
+    fn block_draws(&mut self, cfg: &Cfg, id: FnId) -> Vec<Option<u64>> {
+        let files = self.files;
+        let g = self.g;
+        let r = g.fns[id];
+        let toks: &'a [Token] = &files[r.file].tokens;
+        let site_ix: Vec<usize> = self.by_caller.get(&id).cloned().unwrap_or_default();
+        let mut out = Vec::with_capacity(cfg.blocks.len());
+        for blk in &cfg.blocks {
+            let mut total: Option<u64> = Some(0);
+            for seg in &blk.segs {
+                let spans = if seg.closure {
+                    vec![(seg.lo, seg.hi)]
+                } else {
+                    closure_spans(toks, seg.lo, seg.hi)
+                };
+                let deferred = |i: usize| spans.iter().any(|&(a, b)| a <= i && i < b);
+                for i in seg.lo..seg.hi {
+                    let Some(c) = draw_at(toks, i) else { continue };
+                    total = match (total, c, deferred(i)) {
+                        (Some(t), Count::Const(n), false) => Some(t + n),
+                        // A draw the closure defers — or an unknown
+                        // amount — widens the block.
+                        _ => None,
+                    };
+                }
+                for &six in &site_ix {
+                    let s = &g.sites[six];
+                    if s.tok < seg.lo || s.tok >= seg.hi {
+                        continue;
+                    }
+                    let c = self.site_count(six);
+                    total = match (total, c, deferred(s.tok)) {
+                        (t, Count::Const(0), _) => t,
+                        (Some(t), Count::Const(n), false) => Some(t + n),
+                        _ => None,
+                    };
+                }
+            }
+            out.push(total);
+        }
+        out
+    }
+
+    /// Draw contribution of one call site: the callee summary when it
+    /// is unique or all candidates agree on a constant.
+    fn site_count(&mut self, six: usize) -> Count {
+        let s = &self.g.sites[six];
+        // Direct draw methods are counted by the token scan; external
+        // calls cannot reach a workspace RNG.
+        if DRAW_METHODS.contains(&s.name.as_str()) || s.kind == SiteKind::External {
+            return Count::Const(0);
+        }
+        let candidates = s.candidates.clone();
+        let mut agreed: Option<Count> = None;
+        for id in candidates {
+            let c = self.summary(id);
+            match (agreed, c) {
+                (_, Count::Unknown) => return Count::Unknown,
+                (None, c) => agreed = Some(c),
+                (Some(a), c) if a == c => {}
+                _ => return Count::Unknown,
+            }
+        }
+        agreed.unwrap_or(Count::Const(0))
+    }
+}
+
+/// The draw contribution of the token at `i`: `.gen(`-style methods
+/// count one; `.fill(` / `.shuffle(` consume an input-dependent amount.
+fn draw_at(toks: &[Token], i: usize) -> Option<Count> {
+    let Tok::Ident(m) = &toks[i].kind else {
+        return None;
+    };
+    if !DRAW_METHODS.contains(&m.as_str()) || i == 0 || toks[i - 1].kind != Tok::Punct('.') {
+        return None;
+    }
+    let called = match toks.get(i + 1).map(|t| &t.kind) {
+        Some(Tok::Punct('(')) => true,
+        // Turbofish: `.gen::<u64>()`.
+        Some(Tok::Punct(':')) => toks.get(i + 2).map(|t| &t.kind) == Some(&Tok::Punct(':')),
+        _ => false,
+    };
+    if !called {
+        return None;
+    }
+    match m.as_str() {
+        "fill" | "shuffle" => Some(Count::Unknown),
+        _ => Some(Count::Const(1)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// cast-range
+// ---------------------------------------------------------------------
+
+/// Curated upper bounds for `.name` / `.name()` accesses, provable
+/// from `DhsConfig::validate`.
+const FACTS: &str = include_str!("../range_facts.txt");
+
+/// An unsigned interval `[lo, hi]`, in `u128` so 64-bit arithmetic
+/// cannot overflow the analysis itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Iv {
+    lo: u128,
+    hi: u128,
+}
+
+/// The unconstrained interval.
+const TOP: Iv = Iv {
+    lo: 0,
+    hi: u128::MAX,
+};
+
+impl Iv {
+    fn exact(v: u128) -> Iv {
+        Iv { lo: v, hi: v }
+    }
+
+    fn upto(hi: u128) -> Iv {
+        Iv { lo: 0, hi }
+    }
+}
+
+/// Inclusive max of each narrowing cast target the pass rules on.
+/// `usize` is held to `u32::MAX` so a "safe" verdict also holds on
+/// 32-bit targets.
+fn cast_max(ty: &str) -> Option<u128> {
+    match ty {
+        "u8" => Some(u8::MAX as u128),
+        "u16" => Some(u16::MAX as u128),
+        "u32" | "usize" => Some(u32::MAX as u128),
+        _ => None,
+    }
+}
+
+/// Bit width of an unsigned type name, for `::MAX` / `::BITS`.
+fn type_bits(ty: &str) -> Option<u32> {
+    match ty {
+        "u8" => Some(8),
+        "u16" => Some(16),
+        "u32" | "usize" => Some(32),
+        "u64" => Some(64),
+        "u128" => Some(128),
+        _ => None,
+    }
+}
+
+fn parse_facts() -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in FACTS.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        if let (Some(name), Some(v)) = (it.next(), it.next()) {
+            if let Ok(v) = v.parse::<u64>() {
+                let key = name.rsplit('.').next().unwrap_or(name);
+                out.insert(key.to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+/// Run the cast-range pass over every non-test fn body. Returns the
+/// number of narrowing casts proven safe (the `casts_proven_safe`
+/// counter); casts proven to *always* truncate become `cast-range`
+/// findings.
+pub fn cast_range(files: &[FileItems], out: &mut Vec<Finding>) -> usize {
+    let facts = parse_facts();
+    let mut proven = 0usize;
+    for file in files {
+        let consts = file_consts(&file.tokens, &facts);
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            proven += cast_range_fn(file, f, open, close, &consts, &facts, out);
+        }
+    }
+    proven
+}
+
+/// How the interval analysis ruled on one narrowing cast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Operand interval fits the target: the cast cannot truncate.
+    Proven,
+    /// Interval too wide to rule either way; stays behind its
+    /// `lossy_cast` triage.
+    Unknown,
+    /// Interval entirely above the target max: truncates on every run.
+    Truncates,
+}
+
+/// One narrowing-cast site with its verdict, for the `dump_casts`
+/// diagnostic example.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CastVerdict {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line of the `as` keyword.
+    pub line: u32,
+    /// Cast target type name (`u8`/`u16`/`u32`/`usize`).
+    pub target: String,
+    /// The analysis outcome.
+    pub verdict: Verdict,
+}
+
+/// Every narrowing-cast verdict in the given files, sorted — the
+/// data source for `cargo run -p dhs-lint --example dump_casts`.
+pub fn cast_verdicts(files: &[FileItems]) -> Vec<CastVerdict> {
+    let facts = parse_facts();
+    let mut out = Vec::new();
+    for file in files {
+        let consts = file_consts(&file.tokens, &facts);
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            analyze_casts(
+                file,
+                f,
+                open,
+                close,
+                &consts,
+                &facts,
+                |line, target, iv, max| {
+                    let verdict = if iv.hi <= max {
+                        Verdict::Proven
+                    } else if iv.lo > max {
+                        Verdict::Truncates
+                    } else {
+                        Verdict::Unknown
+                    };
+                    out.push(CastVerdict {
+                        path: file.path.clone(),
+                        line,
+                        target: target.to_string(),
+                        verdict,
+                    });
+                },
+            );
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Intervals of `const NAME: T = <expr>;` items anywhere in the file
+/// (module level or associated), evaluated in token order so earlier
+/// consts feed later initializers. A name defined twice with different
+/// intervals is dropped — picking either would be unsound.
+fn file_consts(toks: &[Token], facts: &BTreeMap<String, u64>) -> BTreeMap<String, Iv> {
+    let mut env = BTreeMap::new();
+    let mut dup: BTreeSet<String> = BTreeSet::new();
+    let mut j = 0;
+    while j + 3 < toks.len() {
+        let is_const = matches!(&toks[j].kind, Tok::Ident(s) if s == "const");
+        let name = match (&is_const, toks.get(j + 1).map(|t| &t.kind)) {
+            (true, Some(Tok::Ident(n))) => n.clone(),
+            _ => {
+                j += 1;
+                continue;
+            }
+        };
+        if toks.get(j + 2).map(|t| &t.kind) != Some(&Tok::Punct(':')) {
+            j += 1;
+            continue;
+        }
+        let semi = stmt_semi(toks, j + 2, toks.len());
+        let eq = (j + 3..semi).find(|&k| {
+            toks[k].kind == Tok::Punct('=')
+                && toks.get(k + 1).map(|t| &t.kind) != Some(&Tok::Punct('='))
+        });
+        if let Some(eq) = eq {
+            let ev = Ev {
+                toks,
+                hi: semi,
+                env: &env,
+                facts,
+            };
+            let (iv, _) = ev.expr(eq + 1, 0);
+            if iv != TOP && !dup.contains(&name) {
+                match env.get(&name) {
+                    Some(&old) if old != iv => {
+                        env.remove(&name);
+                        dup.insert(name);
+                    }
+                    _ => {
+                        env.insert(name, iv);
+                    }
+                }
+            } else if iv == TOP && env.remove(&name).is_some() {
+                dup.insert(name);
+            }
+        }
+        j = semi + 1;
+    }
+    env
+}
+
+/// Walk every `expr as uN` cast in one fn body and hand
+/// `(line, target, operand_interval, target_max)` to the sink.
+fn analyze_casts(
+    file: &FileItems,
+    f: &FnItem,
+    open: usize,
+    close: usize,
+    consts: &BTreeMap<String, Iv>,
+    facts: &BTreeMap<String, u64>,
+    mut sink: impl FnMut(u32, &str, Iv, u128),
+) {
+    let toks = &file.tokens;
+    let mut env = consts.clone();
+    env.extend(param_env(toks, f.sig));
+    build_env(toks, open, close, facts, &mut env);
+    for i in open + 1..close {
+        if !matches!(&toks[i].kind, Tok::Ident(s) if s == "as") {
+            continue;
+        }
+        let Some(Tok::Ident(target)) = toks.get(i + 1).map(|t| &t.kind) else {
+            continue;
+        };
+        let Some(max) = cast_max(target) else {
+            continue;
+        };
+        let start = operand_start(toks, open + 1, i);
+        if start >= i {
+            continue;
+        }
+        // Evaluate strictly up to this `as`: the cast under judgment
+        // must not clamp its own operand.
+        let ev = Ev {
+            toks,
+            hi: i,
+            env: &env,
+            facts,
+        };
+        let (iv, _) = ev.expr(start, 0);
+        sink(toks[i].line, target, iv, max);
+    }
+}
+
+fn cast_range_fn(
+    file: &FileItems,
+    f: &FnItem,
+    open: usize,
+    close: usize,
+    consts: &BTreeMap<String, Iv>,
+    facts: &BTreeMap<String, u64>,
+    out: &mut Vec<Finding>,
+) -> usize {
+    let mut proven = 0usize;
+    analyze_casts(
+        file,
+        f,
+        open,
+        close,
+        consts,
+        facts,
+        |line, target, iv, max| {
+            if iv.hi <= max {
+                proven += 1;
+            } else if iv.lo > max {
+                let allowed = f.allows("cast-range")
+                    || file
+                        .flow_allows
+                        .get(&line)
+                        .is_some_and(|rules| rules.contains("cast-range"));
+                if !allowed {
+                    let snippet = file
+                        .lines
+                        .get(line as usize - 1)
+                        .map(|l| l.trim().to_string())
+                        .unwrap_or_default();
+                    out.push(Finding {
+                    path: file.path.clone(),
+                    line,
+                    rule: "cast-range",
+                    snippet: format!(
+                        "always truncates: operand ≥ {} exceeds {target}::MAX ({max}); use checked_cast — {snippet}",
+                        iv.lo
+                    ),
+                });
+                }
+            }
+        },
+    );
+    proven
+}
+
+/// Keywords that terminate a leftward operand walk.
+fn is_expr_kw(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "else"
+            | "fn"
+            | "for"
+            | "if"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "move"
+            | "mut"
+            | "ref"
+            | "return"
+            | "static"
+            | "unsafe"
+            | "where"
+            | "while"
+    )
+}
+
+/// Start of the postfix chain that is the operand of the `as` at `a`
+/// (`as` binds tighter than every binary operator, so the operand is a
+/// primary + postfix chain, not a full expression).
+fn operand_start(toks: &[Token], lo: usize, a: usize) -> usize {
+    let Some(mut k) = element_start(toks, lo, a) else {
+        return a;
+    };
+    loop {
+        let Some(p) = k.checked_sub(1).filter(|&p| p >= lo) else {
+            return k;
+        };
+        let next = match &toks[p].kind {
+            Tok::Punct('.') => element_start(toks, lo, p),
+            Tok::Punct(':') if p >= 1 && toks[p - 1].kind == Tok::Punct(':') => {
+                element_start(toks, lo, p - 1)
+            }
+            // `x as u64 as u32`: the inner cast chains on leftward.
+            Tok::Ident(s) if s == "as" => element_start(toks, lo, p),
+            _ => None,
+        };
+        match next {
+            Some(s) => k = s,
+            None => return k,
+        }
+    }
+}
+
+/// Start of the single chain element ending just before `end`: an
+/// ident/literal, a delimited group, or a call/index with its base.
+fn element_start(toks: &[Token], lo: usize, end: usize) -> Option<usize> {
+    let p = end.checked_sub(1).filter(|&p| p >= lo)?;
+    let mut s = match &toks[p].kind {
+        Tok::Punct(')') => rmatching_delim(toks, p, ')')?,
+        Tok::Punct(']') => rmatching_delim(toks, p, ']')?,
+        Tok::Ident(x) if !is_expr_kw(x) => p,
+        Tok::Num(_) => p,
+        _ => return None,
+    };
+    while s > lo && matches!(toks[s].kind, Tok::Punct('(') | Tok::Punct('[')) {
+        match &toks[s - 1].kind {
+            Tok::Ident(x) if !is_expr_kw(x) => s -= 1,
+            Tok::Punct(')') => s = rmatching_delim(toks, s - 1, ')')?,
+            Tok::Punct(']') => s = rmatching_delim(toks, s - 1, ']')?,
+            _ => break,
+        }
+    }
+    (s >= lo).then_some(s)
+}
+
+/// Seed the environment with intervals of parameters declared with a
+/// plain unsigned type (`x: u8` → `[0, 255]`), scanning the signature
+/// token range for `name : [& mut 'a]* uN` shapes.
+fn param_env(toks: &[Token], sig: (usize, usize)) -> BTreeMap<String, Iv> {
+    let mut env = BTreeMap::new();
+    let (lo, hi) = sig;
+    let mut j = lo;
+    while j + 2 < hi.min(toks.len()) {
+        let (Tok::Ident(name), Tok::Punct(':')) = (&toks[j].kind, &toks[j + 1].kind) else {
+            j += 1;
+            continue;
+        };
+        // `::` paths are not param declarations.
+        if toks.get(j + 2).map(|t| &t.kind) == Some(&Tok::Punct(':')) {
+            j += 3;
+            continue;
+        }
+        let mut k = j + 2;
+        while k < hi {
+            match &toks[k].kind {
+                Tok::Punct('&') | Tok::Lifetime => k += 1,
+                Tok::Ident(s) if s == "mut" => k += 1,
+                _ => break,
+            }
+        }
+        if let Some(Tok::Ident(ty)) = toks.get(k).map(|t| &t.kind) {
+            if let Some(bits) = type_bits(ty) {
+                if bits < 128 {
+                    env.insert(name.clone(), Iv::upto((1u128 << bits) - 1));
+                }
+            }
+        }
+        j = k + 1;
+    }
+    env
+}
+
+/// Extend `env` with single-assignment `let` bindings: a name bound
+/// once by `let name = <expr>;` and never reassigned carries its
+/// initializer's interval; any reassignment (`=`, compound ops,
+/// `&mut name`) or second `let` poisons the name to unconstrained —
+/// including a seeded parameter interval it shadows.
+fn build_env(
+    toks: &[Token],
+    open: usize,
+    close: usize,
+    facts: &BTreeMap<String, u64>,
+    env: &mut BTreeMap<String, Iv>,
+) {
+    let mut lets: BTreeMap<String, usize> = BTreeMap::new();
+    let mut poisoned: BTreeSet<String> = BTreeSet::new();
+    let mut j = open + 1;
+    while j < close {
+        if let Tok::Ident(n) = &toks[j].kind {
+            let after_let = j >= 1
+                && (matches!(&toks[j - 1].kind, Tok::Ident(k) if k == "let")
+                    || (j >= 2
+                        && matches!(&toks[j - 1].kind, Tok::Ident(k) if k == "mut")
+                        && matches!(&toks[j - 2].kind, Tok::Ident(k) if k == "let")));
+            if after_let && toks.get(j + 1).map(|t| &t.kind) == Some(&Tok::Punct('=')) {
+                if lets.insert(n.clone(), j + 2).is_some() {
+                    poisoned.insert(n.clone());
+                }
+            } else if !after_let && is_reassigned_at(toks, j) {
+                poisoned.insert(n.clone());
+            }
+        }
+        j += 1;
+    }
+    for name in &poisoned {
+        env.remove(name);
+    }
+    // A `let` shadowing a param invalidates the seeded interval for
+    // the whole body (this analysis is flow-insensitive about names).
+    for name in lets.keys() {
+        env.remove(name);
+    }
+    // Evaluate initializers in name order with the partial env; a rhs
+    // reading a not-yet-evaluated binding just sees it unconstrained —
+    // which only loses precision, never soundness.
+    for (name, rhs) in &lets {
+        if poisoned.contains(name) {
+            continue;
+        }
+        let end = stmt_semi(toks, *rhs, close);
+        let ev = Ev {
+            toks,
+            hi: end,
+            env,
+            facts,
+        };
+        let (iv, _) = ev.expr(*rhs, 0);
+        if iv != TOP {
+            env.insert(name.clone(), iv);
+        } else {
+            // A `let` shadowing a seeded param with an unknown value.
+            env.remove(name);
+        }
+    }
+}
+
+/// Is the ident at `j` the target of an assignment or `&mut` borrow?
+fn is_reassigned_at(toks: &[Token], j: usize) -> bool {
+    // `name = …` but not `==` (and not the rhs of a comparison).
+    match toks.get(j + 1).map(|t| &t.kind) {
+        Some(Tok::Punct('=')) if toks.get(j + 2).map(|t| &t.kind) != Some(&Tok::Punct('=')) => {
+            return true;
+        }
+        // Compound: `name += …`, `name <<= …`, etc.
+        Some(Tok::Punct(op @ ('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '<' | '>'))) => {
+            let shift = matches!(op, '<' | '>');
+            let eq_at = if shift && toks.get(j + 2).map(|t| &t.kind) == Some(&Tok::Punct(*op)) {
+                j + 3
+            } else {
+                j + 2
+            };
+            if toks.get(eq_at).map(|t| &t.kind) == Some(&Tok::Punct('='))
+                && toks.get(eq_at + 1).map(|t| &t.kind) != Some(&Tok::Punct('='))
+            {
+                return true;
+            }
+        }
+        _ => {}
+    }
+    // `&mut name`.
+    j >= 2
+        && matches!(&toks[j - 1].kind, Tok::Ident(k) if k == "mut")
+        && toks[j - 2].kind == Tok::Punct('&')
+}
+
+/// One past the `;` ending the statement starting at `from`, at zero
+/// relative delimiter depth.
+fn stmt_semi(toks: &[Token], from: usize, close: usize) -> usize {
+    let (mut pd, mut sd, mut bd) = (0i32, 0i32, 0i32);
+    let mut j = from;
+    while j < close {
+        match toks[j].kind {
+            Tok::Punct('(') => pd += 1,
+            Tok::Punct(')') => pd -= 1,
+            Tok::Punct('[') => sd += 1,
+            Tok::Punct(']') => sd -= 1,
+            Tok::Punct('{') => bd += 1,
+            Tok::Punct('}') => bd -= 1,
+            Tok::Punct(';') if pd == 0 && sd == 0 && bd == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    close
+}
+
+/// Interval evaluator over a token range, with Rust operator
+/// precedence. Every unknown construct evaluates to [`TOP`]; verdicts
+/// only ever come from chains the evaluator fully understands.
+struct Ev<'a> {
+    toks: &'a [Token],
+    hi: usize,
+    env: &'a BTreeMap<String, Iv>,
+    facts: &'a BTreeMap<String, u64>,
+}
+
+/// Binary operators by precedence tier (higher binds tighter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Mul,
+    Div,
+    Rem,
+    Add,
+    Sub,
+    Shl,
+    Shr,
+    BitAnd,
+    BitXor,
+    BitOr,
+    Cmp,
+    Bool,
+}
+
+impl Ev<'_> {
+    /// Evaluate the expression at `i` with operators of precedence ≥
+    /// `min_prec`; returns the interval and the index just past it.
+    fn expr(&self, i: usize, min_prec: u8) -> (Iv, usize) {
+        let (mut lhs, mut i) = self.unary(i);
+        while let Some((op, prec, width)) = self.peek_binop(i) {
+            if prec < min_prec {
+                break;
+            }
+            let (rhs, next) = self.expr(i + width, prec + 1);
+            lhs = apply(op, lhs, rhs);
+            i = next;
+        }
+        (lhs, i)
+    }
+
+    /// The binary operator at `i`, with precedence and token width.
+    fn peek_binop(&self, i: usize) -> Option<(Op, u8, usize)> {
+        if i >= self.hi {
+            return None;
+        }
+        let two = |c: char| self.toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct(c));
+        match self.toks[i].kind {
+            Tok::Punct('*') => Some((Op::Mul, 10, 1)),
+            Tok::Punct('/') => Some((Op::Div, 10, 1)),
+            Tok::Punct('%') => Some((Op::Rem, 10, 1)),
+            Tok::Punct('+') => Some((Op::Add, 9, 1)),
+            Tok::Punct('-') => Some((Op::Sub, 9, 1)),
+            Tok::Punct('<') if two('<') => Some((Op::Shl, 8, 2)),
+            Tok::Punct('>') if two('>') => Some((Op::Shr, 8, 2)),
+            Tok::Punct('&') if two('&') => Some((Op::Bool, 3, 2)),
+            Tok::Punct('|') if two('|') => Some((Op::Bool, 3, 2)),
+            Tok::Punct('&') => Some((Op::BitAnd, 7, 1)),
+            Tok::Punct('^') => Some((Op::BitXor, 6, 1)),
+            Tok::Punct('|') => Some((Op::BitOr, 5, 1)),
+            Tok::Punct('<') if two('=') => Some((Op::Cmp, 4, 2)),
+            Tok::Punct('>') if two('=') => Some((Op::Cmp, 4, 2)),
+            Tok::Punct('<') => Some((Op::Cmp, 4, 1)),
+            Tok::Punct('>') => Some((Op::Cmp, 4, 1)),
+            Tok::Punct('=') if two('=') => Some((Op::Cmp, 4, 2)),
+            Tok::Punct('!') if two('=') => Some((Op::Cmp, 4, 2)),
+            _ => None,
+        }
+    }
+
+    fn unary(&self, i: usize) -> (Iv, usize) {
+        if i >= self.hi {
+            return (TOP, i);
+        }
+        match self.toks[i].kind {
+            // Negation and bitwise-not leave the unsigned model.
+            Tok::Punct('-') | Tok::Punct('!') => {
+                let (_, next) = self.unary(i + 1);
+                (TOP, next)
+            }
+            // References and derefs are transparent to the value range.
+            Tok::Punct('&') | Tok::Punct('*') => self.unary(i + 1),
+            _ => self.postfix(i),
+        }
+    }
+
+    fn postfix(&self, i: usize) -> (Iv, usize) {
+        let (mut iv, mut i) = self.primary(i);
+        while i < self.hi {
+            match &self.toks[i].kind {
+                Tok::Punct('.') => {
+                    let Some(Tok::Ident(name)) = self.toks.get(i + 1).map(|t| &t.kind) else {
+                        // Tuple index or float-ish tail: unknown value.
+                        return (TOP, i + 1);
+                    };
+                    if self.toks.get(i + 2).map(|t| &t.kind) == Some(&Tok::Punct('(')) {
+                        let close = matching_delim(self.toks, i + 2, '(').unwrap_or(self.hi);
+                        iv = self.method(iv, name, i + 3, close.min(self.hi));
+                        i = (close + 1).min(self.hi);
+                    } else {
+                        // Field access: fact-bounded or unknown.
+                        iv = match self.facts.get(name.as_str()) {
+                            Some(&max) => Iv::upto(max as u128),
+                            None => TOP,
+                        };
+                        i += 2;
+                    }
+                }
+                Tok::Punct('[') => {
+                    let close = matching_delim(self.toks, i, '[').unwrap_or(self.hi);
+                    iv = TOP;
+                    i = (close + 1).min(self.hi);
+                }
+                Tok::Punct('?') => i += 1,
+                Tok::Ident(s) if s == "as" => {
+                    let target = match self.toks.get(i + 1).map(|t| &t.kind) {
+                        Some(Tok::Ident(t)) => t.as_str(),
+                        _ => return (TOP, (i + 1).min(self.hi)),
+                    };
+                    iv = match cast_max(target) {
+                        // Narrowing truncates: either the value fits
+                        // and is preserved, or anything ≤ MAX results.
+                        Some(max) if iv.hi <= max => iv,
+                        Some(max) => Iv::upto(max),
+                        None => match type_bits(target) {
+                            // Widening unsigned casts preserve value.
+                            Some(_) => iv,
+                            // Floats / signed: out of model.
+                            None => TOP,
+                        },
+                    };
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        (iv, i)
+    }
+
+    fn primary(&self, i: usize) -> (Iv, usize) {
+        if i >= self.hi {
+            return (TOP, i);
+        }
+        match &self.toks[i].kind {
+            Tok::Num(text) => (num_value(text).map_or(TOP, Iv::exact), i + 1),
+            Tok::Punct('(') => {
+                let close = matching_delim(self.toks, i, '(').unwrap_or(self.hi);
+                let (iv, _) = self.expr(i + 1, 0);
+                (iv, (close + 1).min(self.hi))
+            }
+            Tok::Ident(s) if s == "true" || s == "false" => (Iv::upto(1), i + 1),
+            Tok::Ident(s) => {
+                // `Type::MAX` / `Type::BITS` / `uN::from(x)` paths.
+                if self.toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                    && self.toks.get(i + 2).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                {
+                    if let (Some(bits), Some(Tok::Ident(assoc))) =
+                        (type_bits(s), self.toks.get(i + 3).map(|t| &t.kind))
+                    {
+                        match assoc.as_str() {
+                            "MAX" => {
+                                let max = if bits == 128 {
+                                    u128::MAX
+                                } else {
+                                    (1u128 << bits) - 1
+                                };
+                                return (Iv::exact(max), i + 4);
+                            }
+                            "MIN" => return (Iv::exact(0), i + 4),
+                            "BITS" => return (Iv::exact(bits as u128), i + 4),
+                            "from"
+                                if self.toks.get(i + 4).map(|t| &t.kind)
+                                    == Some(&Tok::Punct('(')) =>
+                            {
+                                let close =
+                                    matching_delim(self.toks, i + 4, '(').unwrap_or(self.hi);
+                                let inner = Ev {
+                                    toks: self.toks,
+                                    hi: close.min(self.hi),
+                                    env: self.env,
+                                    facts: self.facts,
+                                };
+                                let (iv, _) = inner.expr(i + 5, 0);
+                                return (iv, (close + 1).min(self.hi));
+                            }
+                            _ => {}
+                        }
+                    }
+                    // Unknown path: consume the two colons and let the
+                    // postfix loop see what follows.
+                    let (_, next) = self.primary(i + 3);
+                    return (TOP, next);
+                }
+                match self.env.get(s.as_str()) {
+                    Some(&iv) => (iv, i + 1),
+                    None => (TOP, i + 1),
+                }
+            }
+            _ => (TOP, i + 1),
+        }
+    }
+
+    /// Interval transfer of a method call `recv.name(args…)` with the
+    /// argument range `[args, close)`.
+    fn method(&self, recv: Iv, name: &str, args: usize, close: usize) -> Iv {
+        // Fact-bounded accessor methods (`cfg.bucket_bits()`).
+        if let Some(&max) = self.facts.get(name) {
+            return Iv::upto(max as u128);
+        }
+        let arg = |n: usize| -> Iv {
+            // n-th top-level argument interval.
+            let mut start = args;
+            let (mut pd, mut sd, mut bd) = (0i32, 0i32, 0i32);
+            let mut seen = 0usize;
+            let mut j = args;
+            while j < close {
+                match self.toks[j].kind {
+                    Tok::Punct('(') => pd += 1,
+                    Tok::Punct(')') => pd -= 1,
+                    Tok::Punct('[') => sd += 1,
+                    Tok::Punct(']') => sd -= 1,
+                    Tok::Punct('{') => bd += 1,
+                    Tok::Punct('}') => bd -= 1,
+                    Tok::Punct(',') if pd == 0 && sd == 0 && bd == 0 => {
+                        if seen == n {
+                            break;
+                        }
+                        seen += 1;
+                        start = j + 1;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if seen < n || start >= j {
+                return TOP;
+            }
+            let inner = Ev {
+                toks: self.toks,
+                hi: j,
+                env: self.env,
+                facts: self.facts,
+            };
+            inner.expr(start, 0).0
+        };
+        match name {
+            "min" => {
+                let a = arg(0);
+                Iv {
+                    lo: recv.lo.min(a.lo),
+                    hi: recv.hi.min(a.hi),
+                }
+            }
+            "max" => {
+                let a = arg(0);
+                Iv {
+                    lo: recv.lo.max(a.lo),
+                    hi: recv.hi.max(a.hi),
+                }
+            }
+            "clamp" => {
+                let (a, b) = (arg(0), arg(1));
+                Iv { lo: a.lo, hi: b.hi }
+            }
+            "leading_zeros" | "trailing_zeros" | "count_ones" | "count_zeros" => Iv::upto(128),
+            "ilog2" => Iv::upto(127),
+            "saturating_sub" => Iv::upto(recv.hi),
+            "div_ceil" => {
+                let a = arg(0);
+                if a.lo >= 2 {
+                    // ⌈x / d⌉ ≤ ⌈hi / 2⌉ for d ≥ 2.
+                    Iv::upto(recv.hi.div_ceil(2))
+                } else {
+                    Iv::upto(recv.hi)
+                }
+            }
+            "abs_diff" => {
+                let a = arg(0);
+                Iv::upto(recv.hi.max(a.hi))
+            }
+            "rem_euclid" => {
+                let a = arg(0);
+                if a.lo > 0 {
+                    Iv::upto(a.hi - 1)
+                } else {
+                    TOP
+                }
+            }
+            _ => TOP,
+        }
+    }
+}
+
+/// Interval transfer for a binary operator, conservative for unsigned
+/// Rust semantics (release-mode wrapping is out of model: the bounds
+/// assume no overflow, which `u128` headroom makes true for any honest
+/// 64-bit workspace value).
+fn apply(op: Op, a: Iv, b: Iv) -> Iv {
+    match op {
+        Op::Mul => Iv {
+            lo: a.lo.saturating_mul(b.lo),
+            hi: a.hi.saturating_mul(b.hi),
+        },
+        Op::Div => match (a.lo.checked_div(b.hi), a.hi.checked_div(b.lo)) {
+            (Some(lo), Some(hi)) => Iv { lo, hi },
+            _ => Iv::upto(a.hi),
+        },
+        Op::Rem => {
+            if b.lo > 0 {
+                Iv::upto(a.hi.min(b.hi - 1))
+            } else {
+                TOP
+            }
+        }
+        Op::Add => Iv {
+            lo: a.lo.saturating_add(b.lo),
+            hi: a.hi.saturating_add(b.hi),
+        },
+        // Unsigned subtraction: panics (debug) or wraps (release) on
+        // underflow; the in-range outcomes stay within [0, a.hi].
+        Op::Sub => Iv::upto(a.hi),
+        Op::Shl => Iv {
+            lo: if b.lo >= 128 {
+                0
+            } else {
+                a.lo.saturating_shl(u32::try_from(b.lo).unwrap_or(u32::MAX))
+            },
+            hi: if b.hi >= 128 {
+                u128::MAX
+            } else {
+                a.hi.saturating_shl(u32::try_from(b.hi).unwrap_or(u32::MAX))
+            },
+        },
+        Op::Shr => Iv {
+            lo: if b.hi >= 128 { 0 } else { a.lo >> b.hi },
+            hi: if b.lo >= 128 { 0 } else { a.hi >> b.lo },
+        },
+        Op::BitAnd => Iv::upto(a.hi.min(b.hi)),
+        // `|`/`^` cannot exceed the next power of two covering both.
+        Op::BitOr | Op::BitXor => {
+            let m = a.hi.max(b.hi);
+            Iv::upto(m.checked_next_power_of_two().map_or(u128::MAX, |p| {
+                if p == m && m.count_ones() == 1 && m > 0 {
+                    // m is a power of two: bits below it can still set.
+                    (p << 1).wrapping_sub(1).max(m)
+                } else {
+                    p.wrapping_sub(1).max(m)
+                }
+            }))
+        }
+        Op::Cmp | Op::Bool => Iv::upto(1),
+    }
+}
+
+/// Saturating shift-left helper (u128 has no `saturating_shl`).
+trait SatShl {
+    fn saturating_shl(self, by: u32) -> u128;
+}
+
+impl SatShl for u128 {
+    fn saturating_shl(self, by: u32) -> u128 {
+        if self == 0 {
+            return 0;
+        }
+        if by >= 128 || self.leading_zeros() < by {
+            return u128::MAX;
+        }
+        self << by
+    }
+}
+
+/// The value of a numeric literal token (suffix and `_` tolerated);
+/// `None` for floats and unparsable text.
+fn num_value(text: &str) -> Option<u128> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    if t.contains('.') {
+        return None;
+    }
+    let (digits, radix) = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (h, 16)
+    } else if let Some(b) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        (b, 2)
+    } else if let Some(o) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        (o, 8)
+    } else {
+        (t.as_str(), 10)
+    };
+    // Strip a type suffix: the tail from the first char that is not a
+    // digit of the radix.
+    let end = digits
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map_or(digits.len(), |(i, _)| i);
+    if end == 0 {
+        return None;
+    }
+    u128::from_str_radix(&digits[..end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+
+    fn graph(sources: &[(&str, &str)]) -> (Vec<FileItems>, CallGraph) {
+        let files: Vec<FileItems> = sources
+            .iter()
+            .map(|(p, s)| parse_items(p, s))
+            .filter(|f| crate::rules::flow_scope(&f.class))
+            .collect();
+        let g = CallGraph::build(&files);
+        (files, g)
+    }
+
+    fn parity(sources: &[(&str, &str)]) -> (Vec<Finding>, usize) {
+        let (files, g) = graph(sources);
+        let mut out = Vec::new();
+        let n = draw_parity(&files, &g, &mut out);
+        out.sort();
+        (out, n)
+    }
+
+    fn casts(src: &str) -> (Vec<Finding>, usize) {
+        let (files, _) = graph(&[("crates/core/src/a.rs", src)]);
+        let mut out = Vec::new();
+        let n = cast_range(&files, &mut out);
+        out.sort();
+        (out, n)
+    }
+
+    #[test]
+    fn unequal_branch_draws_are_flagged() {
+        let (fs, n) = parity(&[(
+            "crates/core/src/machine.rs",
+            "pub fn step(rng: &mut impl Rng, skip: bool) -> u64 {\n\
+                 if skip { rng.gen::<u64>() } else { rng.gen::<u64>() ^ rng.gen::<u64>() }\n\
+             }\n",
+        )]);
+        assert_eq!(n, 1);
+        assert_eq!(fs.len(), 1, "{fs:#?}");
+        assert_eq!(fs[0].rule, "rng-draw-parity");
+        assert_eq!(fs[0].line, 2);
+        assert!(fs[0].snippet.contains("1 vs 2"), "{}", fs[0].snippet);
+    }
+
+    #[test]
+    fn equal_draws_and_else_less_parity_pass() {
+        let (fs, _) = parity(&[(
+            "crates/core/src/machine.rs",
+            "pub fn step(rng: &mut impl Rng, skip: bool) -> u64 {\n\
+                 if skip { rng.gen::<u64>() } else { rng.gen::<u64>() }\n\
+             }\n\
+             pub fn no_else(rng: &mut impl Rng, hot: bool) {\n\
+                 if hot { observe(); }\n\
+                 rng.gen::<u64>();\n\
+             }\n\
+             fn observe() {}\n",
+        )]);
+        assert!(fs.is_empty(), "{fs:#?}");
+    }
+
+    #[test]
+    fn else_less_branch_that_draws_is_flagged() {
+        let (fs, _) = parity(&[(
+            "crates/core/src/machine.rs",
+            "pub fn step(rng: &mut impl Rng, skip: bool) {\n\
+                 if skip { rng.gen::<u64>(); }\n\
+             }\n",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:#?}");
+        assert!(fs[0].snippet.contains("1 vs 0"), "{}", fs[0].snippet);
+    }
+
+    #[test]
+    fn callee_summaries_flow_through_the_graph() {
+        let (fs, _) = parity(&[(
+            "crates/core/src/machine.rs",
+            "fn one(rng: &mut impl Rng) -> u64 { rng.gen() }\n\
+             fn two(rng: &mut impl Rng) -> u64 { rng.gen::<u64>() ^ rng.gen::<u64>() }\n\
+             pub fn step(rng: &mut impl Rng, skip: bool) -> u64 {\n\
+                 if skip { one(rng) } else { two(rng) }\n\
+             }\n",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:#?}");
+        assert_eq!(fs[0].line, 4);
+    }
+
+    #[test]
+    fn loops_and_closures_widen_to_unknown() {
+        let (fs, _) = parity(&[(
+            "crates/core/src/machine.rs",
+            "pub fn noisy(rng: &mut impl Rng, n: u64, skip: bool) -> u64 {\n\
+                 if skip {\n\
+                     let mut acc = 0;\n\
+                     for _ in 0..n { acc ^= rng.gen::<u64>(); }\n\
+                     acc\n\
+                 } else { (0..n).map(|_| rng.gen::<u64>()).sum() }\n\
+             }\n",
+        )]);
+        assert!(fs.is_empty(), "unknown counts must not fire: {fs:#?}");
+    }
+
+    #[test]
+    fn continue_paths_balance_per_iteration_draws() {
+        // The machine.rs skip-rank shape: the skip branch draws then
+        // continues; the fall-through draws once later. Per-iteration
+        // parity holds, so the pass stays quiet.
+        let (fs, _) = parity(&[(
+            "crates/core/src/machine.rs",
+            "pub fn scan(rng: &mut impl Rng, n: u64) -> u64 {\n\
+                 let mut acc = 0;\n\
+                 for i in 0..n {\n\
+                     if i % 2 == 0 { acc ^= rng.gen::<u64>(); continue; }\n\
+                     acc ^= rng.gen::<u64>();\n\
+                 }\n\
+                 acc\n\
+             }\n",
+        )]);
+        assert!(fs.is_empty(), "{fs:#?}");
+    }
+
+    #[test]
+    fn out_of_scope_fns_are_not_analyzed() {
+        let (fs, n) = parity(&[(
+            "crates/obs/src/metrics.rs",
+            "pub fn unrelated(rng: &mut impl Rng, skip: bool) -> u64 {\n\
+                 if skip { rng.gen::<u64>() } else { rng.gen::<u64>() ^ rng.gen::<u64>() }\n\
+             }\n",
+        )]);
+        assert_eq!((fs.len(), n), (0, 0), "{fs:#?}");
+    }
+
+    #[test]
+    fn allow_directive_silences_parity() {
+        let (fs, _) = parity(&[(
+            "crates/core/src/machine.rs",
+            "// dhs-flow: allow(rng-draw-parity) — hint path intentionally skips\n\
+             pub fn step(rng: &mut impl Rng, skip: bool) -> u64 {\n\
+                 if skip { rng.gen::<u64>() } else { rng.gen::<u64>() ^ rng.gen::<u64>() }\n\
+             }\n",
+        )]);
+        assert!(fs.is_empty(), "{fs:#?}");
+    }
+
+    #[test]
+    fn literal_and_masked_casts_prove_safe() {
+        let (fs, proven) = casts(
+            "pub fn pack(x: u64) -> u16 {\n\
+                 let low = (x & 0xFFFF) as u16;\n\
+                 let b = 255 as u8;\n\
+                 low ^ b as u16\n\
+             }\n",
+        );
+        assert!(fs.is_empty(), "{fs:#?}");
+        // `x & 0xFFFF`, `255u8`, and the widening-safe `b as u16`.
+        assert_eq!(proven, 3);
+    }
+
+    #[test]
+    fn fact_bounded_fields_prove_safe() {
+        let (fs, proven) = casts(
+            "pub fn buckets(cfg: &DhsConfig) -> u32 {\n\
+                 let m = cfg.m as u32;\n\
+                 m + cfg.bucket_bits() as u32\n\
+             }\n",
+        );
+        assert!(fs.is_empty(), "{fs:#?}");
+        assert_eq!(proven, 2, "m ≤ 2^16 and bucket_bits ≤ 16 both fit u32");
+    }
+
+    #[test]
+    fn always_truncating_cast_is_flagged() {
+        let (fs, _) = casts(
+            "pub fn bad() -> u16 {\n\
+                 let big = 70_000u32;\n\
+                 big as u16\n\
+             }\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:#?}");
+        assert_eq!(fs[0].rule, "cast-range");
+        assert_eq!(fs[0].line, 3);
+        assert!(fs[0].snippet.contains("checked_cast"), "{}", fs[0].snippet);
+    }
+
+    #[test]
+    fn reassigned_bindings_and_unknowns_stay_untriaged() {
+        let (fs, proven) = casts(
+            "pub fn shifty(x: u64) -> u16 {\n\
+                 let mut v = 70_000u32;\n\
+                 v = 1;\n\
+                 (v as u16) ^ (x as u16)\n\
+             }\n",
+        );
+        assert!(fs.is_empty(), "poisoned binding must not flag: {fs:#?}");
+        assert_eq!(proven, 0);
+    }
+
+    #[test]
+    fn shift_and_minmax_transfers_are_sound() {
+        let (fs, proven) = casts(
+            "pub fn mix(cfg: &DhsConfig, raw: u64) -> u8 {\n\
+                 let a = (raw % 256) as u8;\n\
+                 let b = (cfg.m >> 9) as u8;\n\
+                 let c = raw.min(200) as u8;\n\
+                 let d = (1u32 << cfg.bucket_bits()) as u32;\n\
+                 a ^ b ^ c ^ (d as u8)\n\
+             }\n",
+        );
+        // a: [0,255] ok; b: 65536>>9=128 ok; c: min ≤ 200 ok; d: 1<<16
+        // fits u32 ok; `d as u8` does NOT prove (hi 65536).
+        assert!(fs.is_empty(), "{fs:#?}");
+        assert_eq!(proven, 4, "{fs:#?}");
+    }
+
+    #[test]
+    fn type_max_and_from_paths_evaluate() {
+        let (fs, proven) = casts(
+            "pub fn caps(x: u8) -> u32 {\n\
+                 let m = u16::MAX as u32;\n\
+                 m + u32::from(x) as u32 + u64::BITS as u32\n\
+             }\n",
+        );
+        assert!(fs.is_empty(), "{fs:#?}");
+        assert_eq!(proven, 3);
+    }
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let src = "pub fn f(cfg: &DhsConfig) -> u16 { let big = 70_000u32; (big as u16) ^ (cfg.m as u16) }\n";
+        let (a, pa) = casts(src);
+        let (b, pb) = casts(src);
+        assert_eq!((a, pa), (b, pb));
+    }
+}

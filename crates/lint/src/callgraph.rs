@@ -96,7 +96,9 @@ impl CallGraph {
         let mut sites = Vec::new();
         let mut stats = ResolutionStats::default();
         for id in 0..fns.len() {
-            for site in resolver.resolve_fn(id) {
+            let (fn_sites, closure_typed) = resolver.resolve_fn(id);
+            stats.closure_typed += closure_typed;
+            for site in fn_sites {
                 match site.kind {
                     SiteKind::Resolved => {
                         stats.resolved += 1;

@@ -1,0 +1,822 @@
+//! dhs-cfg: per-function control-flow graphs over the token stream.
+//!
+//! [`Cfg::build`] turns one fn body's token range (from
+//! [`crate::items::FnItem::body`]) into basic blocks with explicit
+//! successor edges, without building an AST. Recognized constructs:
+//! `if`/`else if`/`else` (diamonds), `match` (one block per arm),
+//! `loop`/`while`/`for` (header + body + after, with the body→header
+//! back edge kept *out* of `succs` so forward traversals see a DAG),
+//! `break`/`continue` (edges to the innermost loop's after/header),
+//! early `return` and `?` (edges to the synthetic exit block).
+//!
+//! Closures are carved out as opaque [`Segment::closure`] ranges: the
+//! fn-level CFG must not split on an `if` — or worse, take a `return`
+//! edge — that belongs to a closure body which may run zero or many
+//! times. Nested `fn` items are excluded entirely (they get their own
+//! CFG when their [`crate::items::FnItem`] is analyzed).
+//!
+//! The builder is structured and deterministic: block ids are assigned
+//! in source order, so two runs over the same token stream produce
+//! byte-identical graphs — a requirement inherited by the draw-parity
+//! verdicts in [`crate::absint`].
+//!
+//! Degradation policy matches the lexer's: on malformed shapes (no body
+//! brace found, unmatched delimiters) the builder keeps the tokens in
+//! the current block rather than panicking — `rustc` rejects such code
+//! anyway, and the lint must stay total.
+
+use crate::lexer::{Tok, Token};
+
+/// A contiguous token range `[lo, hi)` owned by one basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// First token index (inclusive).
+    pub lo: usize,
+    /// One past the last token index.
+    pub hi: usize,
+    /// The range is a closure literal (params + body). Opaque to
+    /// path-sensitive analyses: the closure may run zero or many times,
+    /// so effects inside it cannot be attributed to this block's path.
+    pub closure: bool,
+}
+
+/// What kind of construct terminates a block with a branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchKind {
+    /// `if` / `else if` / `else` chain head.
+    If,
+    /// `match` with one arm block per `=>`.
+    Match,
+    /// `loop` / `while` / `for` header.
+    Loop,
+}
+
+/// A structured branch recorded on the block it terminates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Branch {
+    /// The construct kind.
+    pub kind: BranchKind,
+    /// Token index of the introducing keyword (for report lines).
+    pub tok: usize,
+    /// Entry blocks of each arm: `[then]` or `[then, else]` for `If`
+    /// (an `else if` nests inside the second arm), one block per match
+    /// arm, `[body]` for `Loop`.
+    pub arms: Vec<usize>,
+    /// The block control rejoins at (for `Loop`: the after-loop block).
+    /// An else-less `if` also has a direct edge branch-block → join —
+    /// the fall-through path.
+    pub join: usize,
+}
+
+/// One basic block: token segments, forward successor edges, the
+/// branch that ends it (if any), and whether it sits inside a loop.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Token ranges owned by this block, in source order.
+    pub segs: Vec<Segment>,
+    /// Forward successor block ids (back edges live in
+    /// [`Cfg::back_edges`] instead).
+    pub succs: Vec<usize>,
+    /// The structured branch terminating this block, if any.
+    pub branch: Option<Branch>,
+    /// Created while inside a loop body or header: any effect here may
+    /// repeat, so per-path counting over it is unsound.
+    pub in_loop: bool,
+}
+
+/// A per-function control-flow graph. `blocks[entry]` is the entry,
+/// `blocks[exit]` the synthetic exit every `return` / `?` / normal
+/// fall-off edges into.
+#[derive(Debug)]
+pub struct Cfg {
+    /// All blocks, ids in source order of creation.
+    pub blocks: Vec<Block>,
+    /// Entry block id (always 0).
+    pub entry: usize,
+    /// Synthetic exit block id (always 1, no successors).
+    pub exit: usize,
+    /// `(from, to)` loop back edges (`continue` / body-end → header),
+    /// kept out of `succs` so forward traversals see a DAG.
+    pub back_edges: Vec<(usize, usize)>,
+}
+
+/// The synthetic exit block's id.
+const EXIT: usize = 1;
+
+impl Cfg {
+    /// Build the CFG for the body token range `(open, close)` — the
+    /// brace indices recorded by [`crate::items::FnItem::body`].
+    pub fn build(toks: &[Token], open: usize, close: usize) -> Cfg {
+        let mut b = Builder {
+            toks,
+            blocks: Vec::new(),
+            back_edges: Vec::new(),
+            loops: Vec::new(),
+        };
+        let entry = b.new_block();
+        let exit = b.new_block();
+        let close = close.min(toks.len());
+        if open + 1 < close {
+            let last = b.seq(open + 1, close, entry);
+            b.edge(last, exit);
+        } else {
+            b.edge(entry, exit);
+        }
+        Cfg {
+            blocks: b.blocks,
+            entry,
+            exit,
+            back_edges: b.back_edges,
+        }
+    }
+}
+
+/// Index of the `}` matching the `{` at `open`; `None` when `open` is
+/// not a `{` or the stream ends first.
+pub(crate) fn matching_brace(toks: &[Token], open: usize) -> Option<usize> {
+    if toks.get(open).map(|t| &t.kind) != Some(&Tok::Punct('{')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Closure extents `[lo, hi)` found inside a raw token range. Analyses
+/// counting effects over a segment that was emitted without carving
+/// (conditions, match patterns/guards) use this to tell which tokens
+/// only run if a closure does.
+pub fn closure_spans(toks: &[Token], lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let b = Builder {
+        toks,
+        blocks: Vec::new(),
+        back_edges: Vec::new(),
+        loops: Vec::new(),
+    };
+    let mut spans = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        let opener = if matches!(&toks[i].kind, Tok::Ident(s) if s == "move")
+            && toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct('|'))
+        {
+            Some(i + 1)
+        } else if b.closure_opener(i) {
+            Some(i)
+        } else {
+            None
+        };
+        match opener {
+            Some(o) => {
+                let end = b.closure_extent(o, hi);
+                spans.push((i, end));
+                i = end.max(i + 1);
+            }
+            None => i += 1,
+        }
+    }
+    spans
+}
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    blocks: Vec<Block>,
+    back_edges: Vec<(usize, usize)>,
+    /// Innermost-last stack of `(header, after)` for break/continue.
+    loops: Vec<(usize, usize)>,
+}
+
+impl Builder<'_> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block {
+            in_loop: !self.loops.is_empty(),
+            ..Block::default()
+        });
+        self.blocks.len() - 1
+    }
+
+    fn emit(&mut self, b: usize, lo: usize, hi: usize, closure: bool) {
+        if lo < hi {
+            self.blocks[b].segs.push(Segment { lo, hi, closure });
+        }
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    /// Walk `[lo, hi)` appending to block `cur`, splitting on control
+    /// constructs. Returns the block control flows out of at `hi`.
+    fn seq(&mut self, lo: usize, hi: usize, mut cur: usize) -> usize {
+        let mut seg_lo = lo;
+        let mut i = lo;
+        while i < hi {
+            let after_dot = i > 0 && self.toks[i - 1].kind == Tok::Punct('.');
+            match &self.toks[i].kind {
+                Tok::Ident(s) if !after_dot && s == "if" => {
+                    self.emit(cur, seg_lo, i, false);
+                    let (next, join) = self.if_chain(i, hi, cur);
+                    cur = join;
+                    seg_lo = next;
+                    i = next;
+                }
+                Tok::Ident(s) if !after_dot && s == "match" => {
+                    self.emit(cur, seg_lo, i, false);
+                    let (next, join) = self.match_stmt(i, hi, cur);
+                    cur = join;
+                    seg_lo = next;
+                    i = next;
+                }
+                Tok::Ident(s) if !after_dot && (s == "loop" || s == "while" || s == "for") => {
+                    self.emit(cur, seg_lo, i, false);
+                    let (next, after) = self.loop_stmt(i, hi, cur);
+                    cur = after;
+                    seg_lo = next;
+                    i = next;
+                }
+                Tok::Ident(s) if !after_dot && s == "return" => {
+                    let end = self.stmt_end(i + 1, hi);
+                    self.emit(cur, seg_lo, end, false);
+                    self.edge(cur, EXIT);
+                    cur = self.new_block();
+                    seg_lo = end;
+                    i = end;
+                }
+                Tok::Ident(s) if !after_dot && (s == "break" || s == "continue") => {
+                    let is_break = s == "break";
+                    let end = self.stmt_end(i + 1, hi);
+                    self.emit(cur, seg_lo, end, false);
+                    if let Some(&(header, after)) = self.loops.last() {
+                        if is_break {
+                            self.edge(cur, after);
+                        } else {
+                            self.back_edges.push((cur, header));
+                        }
+                    }
+                    cur = self.new_block();
+                    seg_lo = end;
+                    i = end;
+                }
+                Tok::Ident(s) if !after_dot && s == "fn" => {
+                    // Nested item: exclude its tokens from every block.
+                    self.emit(cur, seg_lo, i, false);
+                    let end = match self.find_body_brace(i + 1, hi) {
+                        Some(open) => {
+                            matching_brace(self.toks, open).map_or(hi, |c| (c + 1).min(hi))
+                        }
+                        None => self.stmt_end(i + 1, hi),
+                    };
+                    let end = end.max(i + 1);
+                    seg_lo = end;
+                    i = end;
+                }
+                Tok::Ident(s)
+                    if s == "move"
+                        && self.toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct('|')) =>
+                {
+                    self.emit(cur, seg_lo, i, false);
+                    let end = self.closure_extent(i + 1, hi).max(i + 1);
+                    self.emit(cur, i, end, true);
+                    seg_lo = end;
+                    i = end;
+                }
+                Tok::Punct('|') if self.closure_opener(i) => {
+                    self.emit(cur, seg_lo, i, false);
+                    let end = self.closure_extent(i, hi).max(i + 1);
+                    self.emit(cur, i, end, true);
+                    seg_lo = end;
+                    i = end;
+                }
+                Tok::Punct('?') => {
+                    self.emit(cur, seg_lo, i + 1, false);
+                    self.edge(cur, EXIT);
+                    let cont = self.new_block();
+                    self.edge(cur, cont);
+                    cur = cont;
+                    seg_lo = i + 1;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        self.emit(cur, seg_lo, hi, false);
+        cur
+    }
+
+    /// An `if`/`else if`/`else` chain starting at the `if` keyword `i`.
+    /// Returns `(index past the chain, join block)`.
+    fn if_chain(&mut self, i: usize, hi: usize, cur: usize) -> (usize, usize) {
+        let Some(open) = self.find_body_brace(i + 1, hi) else {
+            return (i + 1, cur);
+        };
+        self.emit(cur, i, open, false); // `if` + condition
+        let close = matching_brace(self.toks, open).map_or(hi, |c| c.min(hi));
+        let then_entry = self.new_block();
+        let then_exit = self.seq(open + 1, close, then_entry);
+        let mut arms = vec![then_entry];
+        let mut next = (close + 1).min(hi);
+        let mut else_exit = None;
+        if next < hi && matches!(&self.toks[next].kind, Tok::Ident(s) if s == "else") {
+            match self.toks.get(next + 1).map(|t| &t.kind) {
+                Some(Tok::Ident(s)) if s == "if" => {
+                    let else_entry = self.new_block();
+                    arms.push(else_entry);
+                    let (n2, inner_join) = self.if_chain(next + 1, hi, else_entry);
+                    else_exit = Some(inner_join);
+                    next = n2;
+                }
+                Some(Tok::Punct('{')) => {
+                    let eopen = next + 1;
+                    let eclose = matching_brace(self.toks, eopen).map_or(hi, |c| c.min(hi));
+                    let else_entry = self.new_block();
+                    arms.push(else_entry);
+                    else_exit = Some(self.seq(eopen + 1, eclose, else_entry));
+                    next = (eclose + 1).min(hi);
+                }
+                _ => {}
+            }
+        }
+        let join = self.new_block();
+        self.blocks[cur].branch = Some(Branch {
+            kind: BranchKind::If,
+            tok: i,
+            arms: arms.clone(),
+            join,
+        });
+        for &a in &arms {
+            self.edge(cur, a);
+        }
+        self.edge(then_exit, join);
+        match else_exit {
+            Some(e) => self.edge(e, join),
+            None => self.edge(cur, join),
+        }
+        (next, join)
+    }
+
+    /// A `match` starting at keyword `i`: one block per arm (pattern +
+    /// guard tokens stay in the arm's block), all arms rejoin.
+    fn match_stmt(&mut self, i: usize, hi: usize, cur: usize) -> (usize, usize) {
+        let Some(open) = self.find_body_brace(i + 1, hi) else {
+            return (i + 1, cur);
+        };
+        self.emit(cur, i, open, false); // `match` + scrutinee
+        let close = matching_brace(self.toks, open).map_or(hi, |c| c.min(hi));
+        let mut arms = Vec::new();
+        let mut exits = Vec::new();
+        let mut j = open + 1;
+        while j < close {
+            // Pattern (+ guard): up to the `=>` at relative depth 0.
+            let (mut pd, mut sd, mut bd) = (0i32, 0i32, 0i32);
+            let mut arrow = None;
+            let mut k = j;
+            while k + 1 < close {
+                match self.toks[k].kind {
+                    Tok::Punct('(') => pd += 1,
+                    Tok::Punct(')') => pd -= 1,
+                    Tok::Punct('[') => sd += 1,
+                    Tok::Punct(']') => sd -= 1,
+                    Tok::Punct('{') => bd += 1,
+                    Tok::Punct('}') => bd -= 1,
+                    Tok::Punct('=')
+                        if pd == 0
+                            && sd == 0
+                            && bd == 0
+                            && self.toks[k + 1].kind == Tok::Punct('>') =>
+                    {
+                        arrow = Some(k);
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            let arm = self.new_block();
+            self.emit(arm, j, arrow, false); // pattern and guard
+            let body_lo = arrow + 2;
+            if self.toks.get(body_lo).map(|t| &t.kind) == Some(&Tok::Punct('{')) {
+                let bclose = matching_brace(self.toks, body_lo).map_or(close, |c| c.min(close));
+                exits.push(self.seq(body_lo + 1, bclose, arm));
+                j = bclose + 1;
+                if self.toks.get(j).map(|t| &t.kind) == Some(&Tok::Punct(',')) {
+                    j += 1;
+                }
+            } else {
+                let end = self.stmt_end(body_lo, close);
+                exits.push(self.seq(body_lo, end, arm));
+                j = end.max(body_lo + 1);
+            }
+            arms.push(arm);
+        }
+        let join = self.new_block();
+        self.blocks[cur].branch = Some(Branch {
+            kind: BranchKind::Match,
+            tok: i,
+            arms: arms.clone(),
+            join,
+        });
+        if arms.is_empty() {
+            self.edge(cur, join);
+        }
+        for &a in &arms {
+            self.edge(cur, a);
+        }
+        for &e in &exits {
+            self.edge(e, join);
+        }
+        ((close + 1).min(hi), join)
+    }
+
+    /// `loop` / `while` / `for` at keyword `i`: header block (keyword +
+    /// condition/iterator — re-evaluated per iteration), body entry,
+    /// after block; body-end → header is a back edge.
+    fn loop_stmt(&mut self, i: usize, hi: usize, cur: usize) -> (usize, usize) {
+        let Some(open) = self.find_body_brace(i + 1, hi) else {
+            return (i + 1, cur);
+        };
+        let close = matching_brace(self.toks, open).map_or(hi, |c| c.min(hi));
+        let header = self.new_block();
+        self.blocks[header].in_loop = true;
+        self.emit(header, i, open, false);
+        self.edge(cur, header);
+        let after = self.new_block();
+        self.loops.push((header, after));
+        let body = self.new_block();
+        self.edge(header, body);
+        self.edge(header, after);
+        let body_exit = self.seq(open + 1, close, body);
+        self.loops.pop();
+        self.back_edges.push((body_exit, header));
+        self.blocks[header].branch = Some(Branch {
+            kind: BranchKind::Loop,
+            tok: i,
+            arms: vec![body],
+            join: after,
+        });
+        ((close + 1).min(hi), after)
+    }
+
+    /// End of the statement starting at `from`: one past the `;` / `,`
+    /// at relative depth 0, or at an unmatched closing delimiter / `hi`.
+    fn stmt_end(&self, from: usize, hi: usize) -> usize {
+        let (mut pd, mut sd, mut bd) = (0i32, 0i32, 0i32);
+        let mut j = from;
+        while j < hi {
+            match self.toks[j].kind {
+                Tok::Punct('(') => pd += 1,
+                Tok::Punct(')') => {
+                    if pd == 0 {
+                        return j;
+                    }
+                    pd -= 1;
+                }
+                Tok::Punct('[') => sd += 1,
+                Tok::Punct(']') => {
+                    if sd == 0 {
+                        return j;
+                    }
+                    sd -= 1;
+                }
+                Tok::Punct('{') => bd += 1,
+                Tok::Punct('}') => {
+                    if bd == 0 {
+                        return j;
+                    }
+                    bd -= 1;
+                }
+                Tok::Punct(';') | Tok::Punct(',') if pd == 0 && sd == 0 && bd == 0 => {
+                    return j + 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        hi
+    }
+
+    /// First `{` at zero paren/bracket depth in `[from, hi)` — the body
+    /// brace of an `if`/`match`/loop header. `None` on a `;` first.
+    fn find_body_brace(&self, from: usize, hi: usize) -> Option<usize> {
+        let (mut pd, mut sd) = (0i32, 0i32);
+        let mut j = from;
+        while j < hi {
+            match self.toks[j].kind {
+                Tok::Punct('(') => pd += 1,
+                Tok::Punct(')') => pd -= 1,
+                Tok::Punct('[') => sd += 1,
+                Tok::Punct(']') => sd -= 1,
+                Tok::Punct('{') if pd == 0 && sd == 0 => return Some(j),
+                Tok::Punct(';') if pd == 0 && sd == 0 => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Is the `|` at `i` a closure opener? Heuristic shared with the
+    /// resolver: a closure's `|` follows `(`/`,`/`=`/`{`/`;`/`>` (the
+    /// last for `=>` arm bodies); a bitwise-or follows a value token.
+    fn closure_opener(&self, i: usize) -> bool {
+        if self.toks.get(i).map(|t| &t.kind) != Some(&Tok::Punct('|')) || i == 0 {
+            return false;
+        }
+        matches!(
+            self.toks[i - 1].kind,
+            Tok::Punct('(')
+                | Tok::Punct(',')
+                | Tok::Punct('=')
+                | Tok::Punct('{')
+                | Tok::Punct(';')
+                | Tok::Punct('>')
+        )
+    }
+
+    /// One past the end of the closure whose opening `|` is at
+    /// `opener`: params to the matching `|`, optional `-> Type`, then a
+    /// brace-matched block body or an expression to the first `,`/`;`
+    /// or unmatched closing delimiter.
+    fn closure_extent(&self, opener: usize, hi: usize) -> usize {
+        let (mut pd, mut sd) = (0i32, 0i32);
+        let mut k = opener + 1;
+        while k < hi {
+            match self.toks[k].kind {
+                Tok::Punct('(') => pd += 1,
+                Tok::Punct(')') => pd -= 1,
+                Tok::Punct('[') => sd += 1,
+                Tok::Punct(']') => sd -= 1,
+                Tok::Punct('|') if pd == 0 && sd == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= hi {
+            return (opener + 1).min(hi);
+        }
+        let mut m = k + 1;
+        if self.toks.get(m).map(|t| &t.kind) == Some(&Tok::Punct('-'))
+            && self.toks.get(m + 1).map(|t| &t.kind) == Some(&Tok::Punct('>'))
+        {
+            while m < hi && self.toks[m].kind != Tok::Punct('{') {
+                m += 1;
+            }
+        }
+        if self.toks.get(m).map(|t| &t.kind) == Some(&Tok::Punct('{')) {
+            return matching_brace(self.toks, m).map_or(hi, |c| (c + 1).min(hi));
+        }
+        let (mut pd, mut sd, mut bd) = (0i32, 0i32, 0i32);
+        while m < hi {
+            match self.toks[m].kind {
+                Tok::Punct('(') => pd += 1,
+                Tok::Punct(')') => {
+                    if pd == 0 {
+                        break;
+                    }
+                    pd -= 1;
+                }
+                Tok::Punct('[') => sd += 1,
+                Tok::Punct(']') => {
+                    if sd == 0 {
+                        break;
+                    }
+                    sd -= 1;
+                }
+                Tok::Punct('{') => bd += 1,
+                Tok::Punct('}') => {
+                    if bd == 0 {
+                        break;
+                    }
+                    bd -= 1;
+                }
+                Tok::Punct(',') | Tok::Punct(';') if pd == 0 && sd == 0 && bd == 0 => break,
+                _ => {}
+            }
+            m += 1;
+        }
+        m.clamp(opener + 1, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+
+    fn build(src: &str) -> (Vec<Token>, Cfg) {
+        let f = parse_items("crates/core/src/a.rs", src);
+        let (open, close) = f.fns[0].body.expect("fn body");
+        let cfg = Cfg::build(&f.tokens, open, close);
+        (f.tokens, cfg)
+    }
+
+    /// The block owning token index `t` (non-closure segments).
+    fn owner(cfg: &Cfg, t: usize) -> Option<usize> {
+        cfg.blocks
+            .iter()
+            .position(|b| b.segs.iter().any(|s| !s.closure && s.lo <= t && t < s.hi))
+    }
+
+    #[test]
+    fn straight_line_is_entry_to_exit() {
+        let (_, cfg) = build("fn f() { let x = 1; g(x); }\n");
+        assert_eq!(cfg.blocks.len(), 2);
+        assert_eq!(cfg.blocks[cfg.entry].succs, vec![cfg.exit]);
+        assert_eq!(cfg.blocks[cfg.entry].segs.len(), 1);
+        assert!(cfg.back_edges.is_empty());
+    }
+
+    #[test]
+    fn if_else_forms_diamond() {
+        let (_, cfg) = build("fn f(c: bool) -> u64 { if c { a() } else { b() } }\n");
+        let br = cfg.blocks[cfg.entry].branch.as_ref().expect("branch");
+        assert_eq!(br.kind, BranchKind::If);
+        assert_eq!(br.arms.len(), 2);
+        for &a in &br.arms {
+            assert!(cfg.blocks[cfg.entry].succs.contains(&a));
+            assert_eq!(cfg.blocks[a].succs, vec![br.join]);
+        }
+        // The join falls off the end of the fn into exit.
+        assert_eq!(cfg.blocks[br.join].succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn else_less_if_falls_through_to_join() {
+        let (_, cfg) = build("fn f(c: bool) { if c { a(); } b(); }\n");
+        let br = cfg.blocks[cfg.entry].branch.as_ref().expect("branch");
+        assert_eq!(br.arms.len(), 1);
+        assert!(cfg.blocks[cfg.entry].succs.contains(&br.join));
+        assert!(cfg.blocks[cfg.entry].succs.contains(&br.arms[0]));
+    }
+
+    #[test]
+    fn else_if_chain_nests_in_second_arm() {
+        let (_, cfg) =
+            build("fn f(x: u64) { if x == 0 { a(); } else if x == 1 { b(); } else { c(); } }\n");
+        let br = cfg.blocks[cfg.entry].branch.as_ref().expect("outer");
+        assert_eq!(br.arms.len(), 2);
+        let inner = cfg.blocks[br.arms[1]].branch.as_ref().expect("inner if");
+        assert_eq!(inner.kind, BranchKind::If);
+        assert_eq!(inner.arms.len(), 2);
+        // The inner chain's join rejoins the outer join.
+        assert!(cfg.blocks[inner.join].succs.contains(&br.join));
+    }
+
+    #[test]
+    fn match_gets_one_block_per_arm() {
+        let (_, cfg) =
+            build("fn f(x: u64) -> u64 { match x { 0 => 1, 1 => { two() } _ => fallback(x), } }\n");
+        let br = cfg.blocks[cfg.entry].branch.as_ref().expect("branch");
+        assert_eq!(br.kind, BranchKind::Match);
+        assert_eq!(br.arms.len(), 3);
+        for &a in &br.arms {
+            assert!(cfg.blocks[cfg.entry].succs.contains(&a));
+        }
+    }
+
+    #[test]
+    fn loop_records_back_edge_and_in_loop() {
+        let (toks, cfg) =
+            build("fn f(n: u64) { let mut i = 0; while i < n { step(); i += 1; } done(); }\n");
+        assert_eq!(cfg.back_edges.len(), 1);
+        let (from, header) = cfg.back_edges[0];
+        assert!(cfg.blocks[header].in_loop);
+        assert!(cfg.blocks[from].in_loop);
+        let br = cfg.blocks[header].branch.as_ref().expect("loop branch");
+        assert_eq!(br.kind, BranchKind::Loop);
+        // `done()` runs in the after block, outside the loop.
+        let done = toks
+            .iter()
+            .position(|t| matches!(&t.kind, Tok::Ident(s) if s == "done"))
+            .unwrap();
+        let after = owner(&cfg, done).unwrap();
+        assert_eq!(after, br.join);
+        assert!(!cfg.blocks[after].in_loop);
+    }
+
+    #[test]
+    fn break_and_continue_edge_to_after_and_header() {
+        let (toks, cfg) =
+            build("fn f() { loop { if a() { break; } if b() { continue; } c(); } d(); }\n");
+        let header = cfg
+            .blocks
+            .iter()
+            .position(|b| matches!(&b.branch, Some(br) if br.kind == BranchKind::Loop))
+            .unwrap();
+        let after = cfg.blocks[header].branch.as_ref().unwrap().join;
+        // Some block inside the loop edges forward to `after` (break).
+        let breaks: Vec<usize> = (0..cfg.blocks.len())
+            .filter(|&b| {
+                b != header && cfg.blocks[b].in_loop && cfg.blocks[b].succs.contains(&after)
+            })
+            .collect();
+        assert!(!breaks.is_empty(), "break edge missing");
+        // A continue back edge targets the header alongside the body-end one.
+        assert!(
+            cfg.back_edges
+                .iter()
+                .filter(|(_, to)| *to == header)
+                .count()
+                >= 2
+        );
+        let d = toks
+            .iter()
+            .position(|t| matches!(&t.kind, Tok::Ident(s) if s == "d"))
+            .unwrap();
+        assert_eq!(owner(&cfg, d).unwrap(), after);
+    }
+
+    #[test]
+    fn early_return_edges_to_exit() {
+        let (toks, cfg) = build("fn f(c: bool) -> u64 { if c { return 9; } tail() }\n");
+        let ret = toks
+            .iter()
+            .position(|t| matches!(&t.kind, Tok::Ident(s) if s == "return"))
+            .unwrap();
+        let b = owner(&cfg, ret).unwrap();
+        assert!(cfg.blocks[b].succs.contains(&cfg.exit));
+        // The then-arm's dead tail must NOT rejoin: its edge to join is
+        // from an unreachable empty block, so the return path count is
+        // exact. Reachability: entry → then-arm(b) → exit only.
+        assert!(!cfg.blocks[b].succs.iter().any(|&s| s != cfg.exit));
+    }
+
+    #[test]
+    fn question_mark_splits_with_exit_edge() {
+        let (toks, cfg) = build("fn f() -> Result<u64, E> { let v = load()?; Ok(v + 1) }\n");
+        let q = toks.iter().position(|t| t.kind == Tok::Punct('?')).unwrap();
+        let b = owner(&cfg, q).unwrap();
+        assert!(cfg.blocks[b].succs.contains(&cfg.exit));
+        assert_eq!(cfg.blocks[b].succs.len(), 2);
+    }
+
+    #[test]
+    fn closures_are_opaque_segments() {
+        let (_, cfg) = build(
+            "fn f(xs: &[u64]) -> u64 { xs.iter().map(|x| if *x > 0 { 1 } else { 0 }).sum() }\n",
+        );
+        // The `if` inside the closure must not split the fn CFG.
+        assert!(cfg.blocks.iter().all(|b| b.branch.is_none()));
+        let closure_segs: usize = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.segs)
+            .filter(|s| s.closure)
+            .count();
+        assert_eq!(closure_segs, 1);
+    }
+
+    #[test]
+    fn nested_fn_items_are_excluded() {
+        let (toks, cfg) = build(
+            "fn f() -> u64 { fn helper(x: u64) -> u64 { if x > 0 { x } else { 0 } } helper(3) }\n",
+        );
+        assert!(cfg.blocks.iter().all(|b| b.branch.is_none()));
+        // No block segment may cover the helper's body tokens.
+        let inner_if = toks
+            .iter()
+            .position(|t| matches!(&t.kind, Tok::Ident(s) if s == "if"))
+            .unwrap();
+        assert_eq!(owner(&cfg, inner_if), None);
+    }
+
+    #[test]
+    fn segments_never_overlap() {
+        let (_, cfg) = build(
+            "fn f(n: u64, c: bool) -> u64 {\n\
+                 let mut acc = 0;\n\
+                 for i in 0..n { if c { acc += i; } else { acc -= skip(i); } }\n\
+                 match acc { 0 => zero(), v => v.min(9), }\n\
+             }\n",
+        );
+        let mut segs: Vec<(usize, usize)> = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| b.segs.iter().map(|s| (s.lo, s.hi)))
+            .collect();
+        segs.sort_unstable();
+        for w in segs.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let src = "fn f(n: u64) -> u64 { let mut s = 0; for i in 0..n { if i % 2 == 0 { s += i; } } s }\n";
+        let (_, a) = build(src);
+        let (_, b) = build(src);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

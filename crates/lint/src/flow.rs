@@ -69,6 +69,14 @@ pub struct FlowStats {
     pub sites_external: usize,
     /// Call sites that resolved ambiguously (name-based fallback).
     pub ambiguous_calls: usize,
+    /// Closure parameters element-typed by the resolver's adapter and
+    /// annotation passes.
+    pub closure_typed_sites: usize,
+    /// Fns reachable from the machine modules whose bodies the
+    /// rng-draw-parity pass analyzed.
+    pub draw_parity_fns: usize,
+    /// Narrowing casts the cast-range interval pass proved in-range.
+    pub casts_proven_safe: usize,
 }
 
 impl FlowStats {
@@ -105,6 +113,8 @@ pub fn flow_files(inputs: &[(String, String)]) -> (Vec<Finding>, FlowStats) {
     dropped_result(&files, &graph, &mut findings);
     recursion_bound(&files, &graph, &mut findings);
     crate::protocol::check(&files, &graph, &mut findings);
+    let draw_parity_fns = crate::absint::draw_parity(&files, &graph, &mut findings);
+    let casts_proven_safe = crate::absint::cast_range(&files, &mut findings);
     findings.sort();
     findings.dedup();
 
@@ -117,6 +127,9 @@ pub fn flow_files(inputs: &[(String, String)]) -> (Vec<Finding>, FlowStats) {
         sites_dispatch: graph.stats.dispatch,
         sites_external: graph.stats.external,
         ambiguous_calls: graph.ambiguous_sites,
+        closure_typed_sites: graph.stats.closure_typed,
+        draw_parity_fns,
+        casts_proven_safe,
     };
     (findings, stats)
 }

@@ -39,7 +39,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod callgraph;
+pub mod cfg;
 pub mod flow;
 pub mod items;
 pub mod lexer;
@@ -51,7 +53,7 @@ pub mod types;
 pub mod walk;
 
 pub use flow::{flow_files, FlowStats};
-pub use report::{render_flow_jsonl, render_jsonl, render_stats};
+pub use report::{render_flow_jsonl, render_jsonl, render_stats, render_stats_json};
 pub use rules::{classify, lint_source, FileClass, Finding, NameSet};
 pub use walk::{
     find_names_source, flow_workspace, lint_workspace, rust_sources, workspace_members,

@@ -55,7 +55,7 @@ const POP_METHODS: &[&str] = &["pop_seeded", "pop_fifo"];
 const SYNC_EXCHANGE: &[&str] = &["exchange", "routed_exchange"];
 
 /// Strip any `fixtures/` routing prefix, like [`crate::rules::classify`].
-fn strip(path: &str) -> &str {
+pub(crate) fn strip(path: &str) -> &str {
     match path.rfind("fixtures/") {
         Some(i) => &path[i + "fixtures/".len()..],
         None => path,

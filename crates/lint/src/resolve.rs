@@ -70,6 +70,8 @@ pub struct ResolutionStats {
     pub external: usize,
     /// Sites still on the name-based fallback.
     pub ambiguous: usize,
+    /// Closure parameters element-typed by the adapter pass.
+    pub closure_typed: usize,
 }
 
 /// Recursion limit for chained-call return typing.
@@ -98,6 +100,9 @@ pub(crate) struct Resolver<'a> {
     scopes: Vec<FileScope>,
     /// Parallel to `files`: `(crate name, module stem)` for hints.
     meta: Vec<(String, String)>,
+    /// Parallel to `files`: annotated `const`/`static` item types
+    /// (conflicting same-name declarations poison to `Unknown`).
+    consts: Vec<BTreeMap<String, TypeRef>>,
 }
 
 impl<'a> Resolver<'a> {
@@ -115,6 +120,7 @@ impl<'a> Resolver<'a> {
                 (class.crate_name, module_stem(&f.path))
             })
             .collect();
+        let consts = files.iter().map(|f| parse_consts(&f.tokens)).collect();
         Resolver {
             files,
             fns,
@@ -122,20 +128,24 @@ impl<'a> Resolver<'a> {
             by_name,
             scopes,
             meta,
+            consts,
         }
     }
 
-    /// Classify every call site in `id`'s body.
-    pub(crate) fn resolve_fn(&self, id: FnId) -> Vec<CallSite> {
+    /// Classify every call site in `id`'s body. The second component
+    /// is the number of closure parameters the scope pass element-typed
+    /// (the `closure_typed_sites` stat).
+    pub(crate) fn resolve_fn(&self, id: FnId) -> (Vec<CallSite>, usize) {
         let r = self.fns[id];
         let file = &self.files[r.file];
         let f = &file.fns[r.item];
         let Some((open, close)) = f.body else {
-            return Vec::new();
+            return (Vec::new(), 0);
         };
         let toks = &file.tokens;
         let sig = &self.index.sigs[id];
-        let scope = self.build_scope(toks, open, close, sig, f.self_type.as_deref());
+        let (scope, closure_typed) =
+            self.build_scope(r.file, toks, open, close, sig, f.self_type.as_deref());
         let mut out = Vec::new();
         for j in open + 1..close {
             if !is_call_at(toks, j) {
@@ -163,22 +173,25 @@ impl<'a> Resolver<'a> {
                 });
             }
         }
-        out
+        (out, closure_typed)
     }
 
     // -- scope ---------------------------------------------------------
 
-    /// Param types plus single-assignment `let` bindings. Conflicting
-    /// re-bindings of a name poison it to `Unknown`.
-    fn build_scope(
+    /// Param types plus single-assignment `let` bindings, then a
+    /// closure-parameter pass over container-adapter call sites.
+    /// Conflicting re-bindings of a name poison it to `Unknown`. The
+    /// second component counts closure params the adapter pass typed.
+    pub(crate) fn build_scope(
         &self,
+        file: usize,
         toks: &[Token],
         open: usize,
         close: usize,
         sig: &FnSig,
         self_type: Option<&str>,
-    ) -> BTreeMap<String, TypeRef> {
-        let mut scope: BTreeMap<String, TypeRef> = BTreeMap::new();
+    ) -> (BTreeMap<String, TypeRef>, usize) {
+        let mut scope: BTreeMap<String, TypeRef> = self.consts[file].clone();
         for (name, ty) in &sig.params {
             scope.insert(name.clone(), ty.clone());
         }
@@ -199,8 +212,16 @@ impl<'a> Resolver<'a> {
                     continue;
                 }
             };
-            // `let Some(x) = …` patterns slip through as name "Some";
-            // they bind nothing useful and poison nothing real.
+            // `let Some(x) = …` / `while let Ok(x) = …`: the payload
+            // binds to the extracted element of the initializer's
+            // container type (`Option`/`Result` both model as `Wraps`).
+            if (name == "Some" || name == "Ok")
+                && toks.get(p + 1).map(|t| &t.kind) == Some(&Tok::Punct('('))
+            {
+                self.bind_extracted(toks, p, close, self_type, sig, &mut scope);
+                j = p + 1;
+                continue;
+            }
             let mut ty = TypeRef::Unknown;
             let mut q = p + 1;
             if toks.get(q).map(|t| &t.kind) == Some(&Tok::Punct(':'))
@@ -242,7 +263,268 @@ impl<'a> Resolver<'a> {
             }
             j = p + 1;
         }
-        scope
+        self.bind_for_params(toks, open, close, sig, self_type, &mut scope);
+        let mut typed = bind_annotated_closure_params(toks, open, close, sig, &mut scope);
+        typed += self.bind_closure_params(toks, open, close, sig, self_type, &mut scope);
+        (scope, typed)
+    }
+
+    /// Bind the payload ident of a `Some(x)`/`Ok(x)` pattern whose `(`
+    /// sits at `p + 1`: the initializer's container type, extracted.
+    fn bind_extracted(
+        &self,
+        toks: &[Token],
+        p: usize,
+        close: usize,
+        self_type: Option<&str>,
+        sig: &FnSig,
+        scope: &mut BTreeMap<String, TypeRef>,
+    ) {
+        let mut p2 = p + 2;
+        while p2 < close
+            && (toks[p2].kind == Tok::Punct('&')
+                || crate::rules::is_ident(&toks[p2], "ref")
+                || crate::rules::is_ident(&toks[p2], "mut"))
+        {
+            p2 += 1;
+        }
+        let inner = match toks.get(p2).map(|t| &t.kind) {
+            Some(Tok::Ident(n)) if !is_keyword(&toks[p2]) && n != "_" => n.clone(),
+            _ => return,
+        };
+        if toks.get(p2 + 1).map(|t| &t.kind) != Some(&Tok::Punct(')')) {
+            return;
+        }
+        // Walk to the `=` (bail on `;`/`{` first — not an initialized
+        // pattern binding).
+        let mut q = p2 + 2;
+        while q < close {
+            match toks[q].kind {
+                Tok::Punct('=') => break,
+                Tok::Punct(';') | Tok::Punct('{') => return,
+                _ => q += 1,
+            }
+        }
+        if q >= close || toks.get(q + 1).map(|t| &t.kind) == Some(&Tok::Punct('=')) {
+            return;
+        }
+        let ty = match self.eval_init(toks, q + 1, close, self_type, scope, sig) {
+            TypeRef::Wraps(e) if !e.is_empty() => self.elem_type(&e),
+            _ => TypeRef::Unknown,
+        };
+        match scope.get(&inner) {
+            Some(prev) if *prev != ty => {
+                scope.insert(inner, TypeRef::Unknown);
+            }
+            _ => {
+                scope.insert(inner, ty);
+            }
+        }
+    }
+
+    /// Bind `for x in <expr> {` loop variables to the iterated
+    /// container's element type — the loop-statement twin of the
+    /// closure-parameter pass.
+    fn bind_for_params(
+        &self,
+        toks: &[Token],
+        open: usize,
+        close: usize,
+        sig: &FnSig,
+        self_type: Option<&str>,
+        scope: &mut BTreeMap<String, TypeRef>,
+    ) {
+        for j in open + 1..close {
+            if !crate::rules::is_ident(&toks[j], "for") {
+                continue;
+            }
+            let mut p = j + 1;
+            while p < close
+                && (toks[p].kind == Tok::Punct('&')
+                    || crate::rules::is_ident(&toks[p], "mut")
+                    || crate::rules::is_ident(&toks[p], "ref"))
+            {
+                p += 1;
+            }
+            // Pattern: a simple ident, or `(i, x)` over `.enumerate()`.
+            let mut enumerated = false;
+            let mut index_name: Option<String> = None;
+            let name;
+            if toks.get(p).map(|t| &t.kind) == Some(&Tok::Punct('(')) {
+                let (Some(Tok::Ident(i_n)), Some(Tok::Punct(',')), Some(Tok::Ident(x_n))) = (
+                    toks.get(p + 1).map(|t| &t.kind),
+                    toks.get(p + 2).map(|t| &t.kind),
+                    toks.get(p + 3).map(|t| &t.kind),
+                ) else {
+                    continue;
+                };
+                if toks.get(p + 4).map(|t| &t.kind) != Some(&Tok::Punct(')'))
+                    || is_keyword(&toks[p + 1])
+                    || is_keyword(&toks[p + 3])
+                    || x_n == "_"
+                {
+                    continue;
+                }
+                enumerated = true;
+                index_name = (i_n != "_").then(|| i_n.clone());
+                name = x_n.clone();
+                p += 4;
+            } else {
+                name = match toks.get(p).map(|t| &t.kind) {
+                    Some(Tok::Ident(n)) if !is_keyword(&toks[p]) && n != "_" => n.clone(),
+                    _ => continue,
+                };
+            }
+            if !crate::rules::is_ident_at(toks, p + 1, "in") {
+                continue;
+            }
+            // Iterator expression: up to the body `{` at bracket depth 0.
+            let mut body = p + 2;
+            let mut depth = 0i32;
+            while body < close {
+                match toks[body].kind {
+                    Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                    Tok::Punct('{') if depth == 0 => break,
+                    _ => {}
+                }
+                body += 1;
+            }
+            if body >= close {
+                continue;
+            }
+            let mut end = body;
+            if enumerated {
+                // The tuple pattern only types when the expression ends
+                // with `.enumerate()` — strip it and type what's
+                // underneath (the pre-enumerate element).
+                if end >= p + 6
+                    && toks[end - 1].kind == Tok::Punct(')')
+                    && toks[end - 2].kind == Tok::Punct('(')
+                    && crate::rules::is_ident(&toks[end - 3], "enumerate")
+                    && toks[end - 4].kind == Tok::Punct('.')
+                {
+                    end -= 4;
+                } else {
+                    continue;
+                }
+            }
+            let ty = match self.eval_value(toks, p + 2, end, self_type, scope, sig, 0) {
+                TypeRef::Wraps(e) if !e.is_empty() => self.elem_type(&e),
+                _ => TypeRef::Unknown,
+            };
+            let mut bindings = vec![(name, ty)];
+            if let Some(i_n) = index_name {
+                bindings.push((i_n, TypeRef::Named("#lit".to_string())));
+            }
+            for (n, ty) in bindings {
+                match scope.get(&n) {
+                    Some(prev) if *prev != ty => {
+                        scope.insert(n, TypeRef::Unknown);
+                    }
+                    _ => {
+                        scope.insert(n, ty);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bindable type of an element extracted from a container head:
+    /// nested container heads stay in the container model (payload
+    /// unseen), workspace traits dispatch, anything else names a type.
+    fn elem_type(&self, elem: &str) -> TypeRef {
+        if crate::types::CONTAINER_HEADS
+            .iter()
+            .any(|(h, _)| *h == elem)
+        {
+            TypeRef::Wraps(String::new())
+        } else if self.index.traits.contains_key(elem) {
+            TypeRef::Generic(elem.to_string())
+        } else {
+            TypeRef::Named(elem.to_string())
+        }
+    }
+
+    /// Closure-parameter element typing: at `recv.method(|x| …)` sites
+    /// where `method` is a known container adapter and the receiver
+    /// types as `Wraps(elem)`, bind the closure's element parameter(s)
+    /// to the element type. Re-bindings poison exactly like `let`
+    /// re-bindings, so a closure param shadowing an outer local of a
+    /// different type degrades both to `Unknown` rather than guessing.
+    /// Returns the number of params bound.
+    fn bind_closure_params(
+        &self,
+        toks: &[Token],
+        open: usize,
+        close: usize,
+        sig: &FnSig,
+        self_type: Option<&str>,
+        scope: &mut BTreeMap<String, TypeRef>,
+    ) -> usize {
+        let mut typed = 0usize;
+        for j in open + 1..close {
+            let Tok::Ident(m) = &toks[j].kind else {
+                continue;
+            };
+            let style = match closure_style(m) {
+                Some(s) => s,
+                None => continue,
+            };
+            if j == 0 || toks[j - 1].kind != Tok::Punct('.') {
+                continue;
+            }
+            if toks.get(j + 1).map(|t| &t.kind) != Some(&Tok::Punct('(')) {
+                continue;
+            }
+            let Some(pclose) = matching_paren(toks, j + 1) else {
+                continue;
+            };
+            let elem = match self.receiver_type(toks, j, self_type, scope, sig, 0) {
+                TypeRef::Wraps(e) if !e.is_empty() => e,
+                _ => continue,
+            };
+            let ty = self.elem_type(&elem);
+            // Locate the closure argument: folds take it second.
+            let mut a = j + 2;
+            if style == ClosureStyle::Fold {
+                a = match arg_after_comma(toks, j + 2, pclose) {
+                    Some(a) => a,
+                    None => continue,
+                };
+            }
+            if crate::rules::is_ident_at(toks, a, "move") {
+                a += 1;
+            }
+            if toks.get(a).map(|t| &t.kind) != Some(&Tok::Punct('|')) {
+                continue;
+            }
+            let params = match closure_params(toks, a, pclose) {
+                Some(p) => p,
+                None => continue,
+            };
+            let names: Vec<&String> = match (style, params.as_slice()) {
+                (ClosureStyle::Elem, [p]) => vec![p],
+                (ClosureStyle::Pair, [p, q]) => vec![p, q],
+                (ClosureStyle::Fold, [_, p]) => vec![p],
+                _ => continue,
+            };
+            for name in names {
+                if name == "_" {
+                    continue;
+                }
+                match scope.get(name.as_str()) {
+                    Some(prev) if *prev != ty => {
+                        scope.insert(name.clone(), TypeRef::Unknown);
+                    }
+                    _ => {
+                        scope.insert(name.clone(), ty.clone());
+                        typed += 1;
+                    }
+                }
+            }
+        }
+        typed
     }
 
     /// Type of a `let` initializer: the expression from `from` to its
@@ -310,21 +592,43 @@ impl<'a> Resolver<'a> {
             {
                 return TypeRef::Unknown;
             }
-            Tok::Str(_) | Tok::Num | Tok::Char => (TypeRef::Named("#lit".to_string()), i + 1),
+            Tok::Str(_) | Tok::Num(_) | Tok::Char => (TypeRef::Named("#lit".to_string()), i + 1),
             Tok::Punct('(') => {
                 // Parenthesized group: trust the contents' type only
                 // when it is primitive (binary arithmetic is closed
                 // over primitives; anything richer could be a partial
-                // read of an operator expression).
+                // read of an operator expression). A top-level `..`
+                // makes the group a range — an integer-element iterator
+                // in the container model.
                 let close = match matching_paren(toks, i) {
                     Some(c) => c,
                     None => return TypeRef::Unknown,
                 };
-                let inner = self.eval_value(toks, i + 1, close, self_type, scope, _sig, depth + 1);
-                match &inner {
-                    TypeRef::Named(h) if is_primitive(h) => (inner.clone(), close + 1),
-                    _ => return TypeRef::Unknown,
+                if range_at_top_level(toks, i + 1, close) {
+                    (TypeRef::Wraps("#lit".to_string()), close + 1)
+                } else {
+                    let inner =
+                        self.eval_value(toks, i + 1, close, self_type, scope, _sig, depth + 1);
+                    match &inner {
+                        TypeRef::Named(h) if is_primitive(h) => (inner.clone(), close + 1),
+                        _ => return TypeRef::Unknown,
+                    }
                 }
+            }
+            Tok::Punct('[') => {
+                // Array literal: a container whose element is whatever
+                // the first element types as.
+                let close = match matching_delim(toks, i, '[') {
+                    Some(c) => c,
+                    None => return TypeRef::Unknown,
+                };
+                let inner = self.eval_value(toks, i + 1, close, self_type, scope, _sig, depth + 1);
+                let elem = match inner {
+                    TypeRef::Named(h) => h,
+                    TypeRef::Generic(t) => t,
+                    _ => String::new(),
+                };
+                (TypeRef::Wraps(elem), close + 1)
             }
             Tok::Ident(s) if toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct('!')) => {
                 // The handful of std macros with useful value types.
@@ -387,9 +691,24 @@ impl<'a> Resolver<'a> {
         if let TypeRef::SelfTy = ty {
             ty = self_named(self_type);
         }
-        // Chain: `.field` / `.method(args)` segments.
+        // Chain: `.field` / `.method(args)` / `[index]` segments.
         let mut k = next;
         while k + 1 < end {
+            if toks[k].kind == Tok::Punct('[') {
+                // Indexing extracts the container element.
+                ty = match &ty {
+                    TypeRef::Wraps(e) if !e.is_empty() => self.elem_type(e),
+                    _ => TypeRef::Unknown,
+                };
+                k = match matching_delim(toks, k, '[') {
+                    Some(c) => c + 1,
+                    None => return TypeRef::Unknown,
+                };
+                if ty == TypeRef::Unknown {
+                    return TypeRef::Unknown;
+                }
+                continue;
+            }
             if toks[k].kind != Tok::Punct('.') {
                 break;
             }
@@ -401,6 +720,18 @@ impl<'a> Resolver<'a> {
                 k = matching_paren(toks, k + 2).map_or(end, |c| c + 1);
             } else {
                 ty = self.index.field_type(&ty, seg);
+                // A field declared as a struct generic param types as
+                // its name; the enclosing fn's (impl-level) bounds say
+                // what it dispatches over (`observer: R` with
+                // `R: Recorder`).
+                if let TypeRef::Named(h) = &ty {
+                    if let Some(b) = _sig.bounds.get(h) {
+                        ty = match b {
+                            Some(tr) => TypeRef::Generic(tr.clone()),
+                            None => TypeRef::Unknown,
+                        };
+                    }
+                }
                 k += 2;
             }
             if ty == TypeRef::Unknown {
@@ -846,12 +1177,33 @@ impl<'a> Resolver<'a> {
                     }
                     if k >= 2
                         && toks[k - 1].kind == Tok::Punct('.')
-                        && matches!(&toks[k - 2].kind, Tok::Ident(_) | Tok::Punct(')'))
+                        && matches!(
+                            &toks[k - 2].kind,
+                            Tok::Ident(_) | Tok::Punct(')') | Tok::Punct(']')
+                        )
                     {
                         k -= 2;
                         continue;
                     }
                     break;
+                }
+                Tok::Punct(']') => {
+                    // Index expression heads or continues the chain
+                    // (`buckets[i].push(…)`, `self.rows[i].len()`).
+                    let open = match rmatching_delim(toks, k, ']') {
+                        Some(o) => o,
+                        None => return TypeRef::Unknown,
+                    };
+                    match open.checked_sub(1) {
+                        Some(h)
+                            if matches!(&toks[h].kind, Tok::Ident(_) | Tok::Punct(']'))
+                                && !is_keyword(&toks[h]) =>
+                        {
+                            k = h;
+                            continue;
+                        }
+                        _ => return TypeRef::Unknown,
+                    }
                 }
                 Tok::Punct(')') => {
                     let open = match rmatching_paren(toks, k) {
@@ -887,14 +1239,14 @@ impl<'a> Resolver<'a> {
                         }
                     }
                 }
-                Tok::Num if k >= 1 && toks[k - 1].kind == Tok::Punct('.') => {
+                Tok::Num(_) if k >= 1 && toks[k - 1].kind == Tok::Punct('.') => {
                     // Tuple-field access (`pair.0.step()`): we don't
                     // model tuple element types, so the receiver is
                     // untyped — fall back to the name-based candidate
                     // set rather than wrongly classifying as external.
                     return TypeRef::Unknown;
                 }
-                Tok::Str(_) | Tok::Num | Tok::Char => return TypeRef::Named("#lit".to_string()),
+                Tok::Str(_) | Tok::Num(_) | Tok::Char => return TypeRef::Named("#lit".to_string()),
                 _ => return TypeRef::Unknown,
             }
         }
@@ -910,6 +1262,205 @@ impl<'a> Resolver<'a> {
         let r = self.fns[id];
         &self.files[r.file].fns[r.item]
     }
+}
+
+/// Which closure parameter receives the container element at a
+/// `recv.method(|…| …)` adapter site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClosureStyle {
+    /// Single closure param, bound to the element (`map`, `filter`, …).
+    Elem,
+    /// Two closure params, both elements (`sort_by`, `max_by`, …).
+    Pair,
+    /// Closure is the *second* argument; its second param is the
+    /// element (`fold`, `try_fold`).
+    Fold,
+}
+
+/// Adapters whose single closure parameter is the receiver's element.
+const ELEM_CLOSURE_METHODS: &[&str] = &[
+    "all",
+    "any",
+    "binary_search_by_key",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "flat_map",
+    "for_each",
+    "inspect",
+    "is_some_and",
+    "map",
+    "map_while",
+    "max_by_key",
+    "min_by_key",
+    "partition",
+    "position",
+    "retain",
+    "skip_while",
+    "sort_by_key",
+    "sort_unstable_by_key",
+    "take_while",
+];
+
+/// Comparator adapters: two closure params, both elements.
+const PAIR_CLOSURE_METHODS: &[&str] = &[
+    "dedup_by",
+    "max_by",
+    "min_by",
+    "sort_by",
+    "sort_unstable_by",
+];
+
+/// Fold-style adapters: the closure is the second argument and its
+/// second parameter is the element (the first is the accumulator).
+const FOLD_CLOSURE_METHODS: &[&str] = &["fold", "try_fold"];
+
+fn closure_style(method: &str) -> Option<ClosureStyle> {
+    if ELEM_CLOSURE_METHODS.contains(&method) {
+        Some(ClosureStyle::Elem)
+    } else if PAIR_CLOSURE_METHODS.contains(&method) {
+        Some(ClosureStyle::Pair)
+    } else if FOLD_CLOSURE_METHODS.contains(&method) {
+        Some(ClosureStyle::Fold)
+    } else {
+        None
+    }
+}
+
+/// Index just past the first top-level `,` in `(from, pclose)`, i.e.
+/// the start of the second argument.
+fn arg_after_comma(toks: &[Token], from: usize, pclose: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(pclose).skip(from) {
+        match t.kind {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            Tok::Punct(',') if depth == 0 => return Some(j + 1),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Bind explicitly annotated closure params (`|x: f64| …`) anywhere in
+/// the body — let-bound helper closures included — with the same
+/// poison-on-conflict semantics as `let` bindings. Returns the number
+/// of params bound.
+fn bind_annotated_closure_params(
+    toks: &[Token],
+    open: usize,
+    close: usize,
+    sig: &FnSig,
+    scope: &mut BTreeMap<String, TypeRef>,
+) -> usize {
+    let mut typed = 0usize;
+    let mut j = open + 1;
+    while j < close {
+        // A `|` opens a closure when it follows `(`, `,`, `=`, `{`,
+        // `;`, `=>` or `move` — never when it is a binary operator.
+        let opens = toks[j].kind == Tok::Punct('|')
+            && matches!(
+                &toks[j - 1].kind,
+                Tok::Punct('(')
+                    | Tok::Punct(',')
+                    | Tok::Punct('=')
+                    | Tok::Punct('{')
+                    | Tok::Punct(';')
+                    | Tok::Punct('>')
+            )
+            || (crate::rules::is_ident(&toks[j], "move")
+                && toks.get(j + 1).map(|t| &t.kind) == Some(&Tok::Punct('|')));
+        if !opens {
+            j += 1;
+            continue;
+        }
+        let bar = if toks[j].kind == Tok::Punct('|') {
+            j
+        } else {
+            j + 1
+        };
+        // Walk the param list, binding `ident : Type` entries.
+        let mut k = bar + 1;
+        let mut depth = 0i32;
+        while k < close {
+            match &toks[k].kind {
+                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                Tok::Punct('|') if depth == 0 => break,
+                Tok::Ident(n)
+                    if depth == 0
+                        && !is_keyword(&toks[k])
+                        && n != "_"
+                        && toks.get(k + 1).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+                        && toks.get(k + 2).map(|t| &t.kind) != Some(&Tok::Punct(':')) =>
+                {
+                    let ty = parse_type_head(toks, k + 2, &sig.bounds);
+                    if ty != TypeRef::Unknown {
+                        match scope.get(n.as_str()) {
+                            Some(prev) if *prev != ty => {
+                                scope.insert(n.clone(), TypeRef::Unknown);
+                            }
+                            _ => {
+                                scope.insert(n.clone(), ty);
+                                typed += 1;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        j = k + 1;
+    }
+    typed
+}
+
+/// Parse the parameter list of the closure whose opening `|` is at
+/// `bar`: returns the simple-ident param names, or `None` when any
+/// param is a pattern this model can't bind (tuples, annotations,
+/// struct patterns). Leading `&`/`ref`/`mut` prefixes are stripped —
+/// the binding types the place, not the reference.
+fn closure_params(toks: &[Token], bar: usize, limit: usize) -> Option<Vec<String>> {
+    // Find the closing `|` at bracket depth 0.
+    let mut depth = 0i32;
+    let mut end = None;
+    for (j, t) in toks.iter().enumerate().take(limit).skip(bar + 1) {
+        match t.kind {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct('|') if depth == 0 => {
+                end = Some(j);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let end = end?;
+    let mut params = Vec::new();
+    let mut j = bar + 1;
+    while j < end {
+        while j < end
+            && (toks[j].kind == Tok::Punct('&')
+                || crate::rules::is_ident(&toks[j], "ref")
+                || crate::rules::is_ident(&toks[j], "mut"))
+        {
+            j += 1;
+        }
+        let name = match toks.get(j).map(|t| &t.kind) {
+            Some(Tok::Ident(n)) if !is_keyword(&toks[j]) => n.clone(),
+            _ => return None,
+        };
+        j += 1;
+        match toks.get(j).map(|t| &t.kind) {
+            Some(Tok::Punct(',')) => j += 1,
+            _ if j >= end => {}
+            _ => return None,
+        }
+        params.push(name);
+    }
+    Some(params)
 }
 
 /// Outcome of a typed method lookup.
@@ -949,6 +1500,9 @@ const EXTRACTING_METHODS: &[&str] = &[
 /// container or to `Unknown` entirely for scalar-returning folds.
 const ELEM_TRANSFORMS: &[&str] = &[
     "and_then",
+    "chunks",
+    "chunks_exact",
+    "enumerate",
     "err",
     "filter_map",
     "flat_map",
@@ -957,7 +1511,9 @@ const ELEM_TRANSFORMS: &[&str] = &[
     "map",
     "map_while",
     "scan",
+    "split",
     "unzip",
+    "windows",
     "zip",
 ];
 
@@ -1008,6 +1564,25 @@ fn is_primitive(h: &str) -> bool {
     )
 }
 
+/// Is there a `..`/`..=` range operator at bracket depth 0 in
+/// `[from, end)`?
+fn range_at_top_level(toks: &[Token], from: usize, end: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = from;
+    while j + 1 < end {
+        match toks[j].kind {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            Tok::Punct('.') if depth == 0 && toks[j + 1].kind == Tok::Punct('.') => {
+                return true;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
 /// Resolution kind for a narrowed free-candidate set.
 fn free_kind(c: Vec<FnId>) -> (SiteKind, Vec<FnId>) {
     if c.len() == 1 {
@@ -1031,6 +1606,55 @@ fn module_stem(path: &str) -> String {
     } else {
         stem.to_string()
     }
+}
+
+/// Parse every annotated `const NAME: Type` / `static NAME: Type`
+/// declaration in the token stream into a name → type map. Collected
+/// file-wide (fn-local consts included — same-name conflicts poison),
+/// so const-table receivers like `EXPERIMENTS.iter()` type without a
+/// `let` rebinding.
+fn parse_consts(toks: &[Token]) -> BTreeMap<String, TypeRef> {
+    let empty_bounds = BTreeMap::new();
+    let mut out: BTreeMap<String, TypeRef> = BTreeMap::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_const = matches!(&toks[i].kind, Tok::Ident(s) if s == "const" || s == "static");
+        if !is_const {
+            i += 1;
+            continue;
+        }
+        let mut p = i + 1;
+        if crate::rules::is_ident_at(toks, p, "mut") {
+            p += 1;
+        }
+        let name = match toks.get(p).map(|t| &t.kind) {
+            // `const fn` and `const` generic params fall out naturally:
+            // `fn` is a keyword, and `<const N: usize>` parses like any
+            // other annotated const (a harmless primitive binding).
+            Some(Tok::Ident(n)) if !is_keyword(&toks[p]) => n.clone(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        if toks.get(p + 1).map(|t| &t.kind) != Some(&Tok::Punct(':'))
+            || toks.get(p + 2).map(|t| &t.kind) == Some(&Tok::Punct(':'))
+        {
+            i = p + 1;
+            continue;
+        }
+        let ty = parse_type_head(toks, p + 2, &empty_bounds);
+        match out.get(&name) {
+            Some(prev) if *prev != ty => {
+                out.insert(name, TypeRef::Unknown);
+            }
+            _ => {
+                out.insert(name, ty);
+            }
+        }
+        i = p + 2;
+    }
+    out
 }
 
 /// Parse every `use` declaration in the token stream into a
@@ -1104,7 +1728,7 @@ fn use_tree(toks: &[Token], mut i: usize, prefix: Vec<String>, scope: &mut FileS
 /// Index of the closing delimiter matching the opener `open_ch` at
 /// `open` (`(`/`[`/`{` — same-kind counting, which is exact because
 /// the lexer never splits delimiters).
-fn matching_delim(toks: &[Token], open: usize, open_ch: char) -> Option<usize> {
+pub(crate) fn matching_delim(toks: &[Token], open: usize, open_ch: char) -> Option<usize> {
     let close_ch = match open_ch {
         '(' => ')',
         '[' => ']',
@@ -1127,17 +1751,27 @@ fn matching_delim(toks: &[Token], open: usize, open_ch: char) -> Option<usize> {
 
 /// Index of the `(` matching the `)` at `close`, scanning backward.
 fn rmatching_paren(toks: &[Token], close: usize) -> Option<usize> {
+    rmatching_delim(toks, close, ')')
+}
+
+/// Index of the opener matching the closing delimiter `close_ch` at
+/// `close`, scanning backward.
+pub(crate) fn rmatching_delim(toks: &[Token], close: usize, close_ch: char) -> Option<usize> {
+    let open_ch = match close_ch {
+        ')' => '(',
+        ']' => '[',
+        '}' => '{',
+        _ => return None,
+    };
     let mut depth = 0i32;
     for j in (0..=close).rev() {
-        match toks[j].kind {
-            Tok::Punct(')') => depth += 1,
-            Tok::Punct('(') => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(j);
-                }
+        if toks[j].kind == Tok::Punct(close_ch) {
+            depth += 1;
+        } else if toks[j].kind == Tok::Punct(open_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
             }
-            _ => {}
         }
     }
     None

@@ -178,7 +178,16 @@ fn scan_type_defs(toks: &[Token], idx: &mut TypeIndex) {
                             && is_single_colon(toks, j + 1)
                             && !is_single_colon_before(toks, j) =>
                     {
-                        let (ty, next) = parse_type_expr(toks, j + 2, &bounds);
+                        let (mut ty, next) = parse_type_expr(toks, j + 2, &bounds);
+                        if ty == TypeRef::Unknown {
+                            // A field declared as a bare struct generic
+                            // var keeps the var's name: the resolver
+                            // remaps it through the enclosing impl's
+                            // bounds (`observer: R`, `R: Recorder`).
+                            if let Some(v) = bare_param_head(toks, j + 2, &bounds) {
+                                ty = TypeRef::Named(v);
+                            }
+                        }
                         fields.insert(f.clone(), ty);
                         j = next;
                         continue;
@@ -189,6 +198,27 @@ fn scan_type_defs(toks: &[Token], idx: &mut TypeIndex) {
             }
         }
         i = j.max(i + 1);
+    }
+}
+
+/// The bare unbounded generic-var head of the type at `from`, if the
+/// head (past `&`/`mut`/lifetimes) is a declared struct generic param.
+fn bare_param_head(
+    toks: &[Token],
+    from: usize,
+    bounds: &BTreeMap<String, Option<String>>,
+) -> Option<String> {
+    let mut i = from;
+    while i < toks.len() {
+        match &toks[i].kind {
+            Tok::Punct('&') | Tok::Lifetime => i += 1,
+            Tok::Ident(s) if s == "mut" => i += 1,
+            _ => break,
+        }
+    }
+    match toks.get(i).map(|t| &t.kind) {
+        Some(Tok::Ident(v)) if bounds.get(v) == Some(&None) => Some(v.clone()),
+        _ => None,
     }
 }
 
@@ -448,8 +478,13 @@ fn elem_head(toks: &[Token], from: usize, bounds: &BTreeMap<String, Option<Strin
         // `[[T; N]; M]` and friends: the inner element head.
         return elem_head(toks, i + 1, bounds);
     }
+    if matches!(toks.get(i).map(|t| &t.kind), Some(Tok::Ident(s)) if s == "dyn" || s == "impl") {
+        // `Box<dyn Estimator>` / `Option<&mut dyn Recorder>`: the trait
+        // name is the element head (extraction dispatches over it).
+        return elem_head(toks, i + 1, bounds);
+    }
     match last_path_segment(toks, i) {
-        Some((seg, _)) if !bounds.contains_key(&seg) && seg != "impl" && seg != "dyn" => seg,
+        Some((seg, _)) if !bounds.contains_key(&seg) => seg,
         _ => String::new(),
     }
 }

@@ -126,10 +126,47 @@ fn direct_sync_exchange_outside_machine_modules_is_flagged() {
 }
 
 #[test]
+fn unequal_branch_draws_flagged_direct_and_through_callees() {
+    check("draw_parity");
+    let got = run_case("draw_parity");
+    assert_eq!(got.matches("rng-draw-parity").count(), 2, "{got}");
+    assert!(got.contains("step_hinted"), "direct divergence: {got}");
+    assert!(got.contains("refill_on_miss"), "callee summary: {got}");
+    assert!(
+        !got.contains("scan_balanced"),
+        "per-iteration parity: {got}"
+    );
+    assert!(!got.contains("probe_or_draw"), "allow silences: {got}");
+    assert!(
+        !got.contains("jitter"),
+        "out-of-scope fn not analyzed: {got}"
+    );
+}
+
+#[test]
+fn oversized_cast_operands_flagged_and_bounded_ones_prove() {
+    check("cast_range");
+    let got = run_case("cast_range");
+    assert_eq!(got.matches("\"rule\":\"cast-range\"").count(), 2, "{got}");
+    assert!(
+        got.contains("truncate_const") || got.contains("OVERSIZED"),
+        "{got}"
+    );
+    assert!(got.contains("checked_cast"), "remediation named: {got}");
+    assert!(got.contains("\"casts_proven_safe\":4"), "{got}");
+    assert!(
+        !got.contains("passthrough"),
+        "unbounded stays untriaged: {got}"
+    );
+}
+
+#[test]
 fn flow_analysis_is_deterministic_per_case() {
     for case in [
+        "cast_range",
         "cycles",
         "dispatch",
+        "draw_parity",
         "dropped",
         "entropy",
         "flow_clean",

@@ -125,3 +125,104 @@ proptest! {
         prop_assert_eq!(permuted, base);
     }
 }
+
+/// Top-level items of a machine-module file exercising the
+/// draw-parity shapes: direct divergence, divergence through a callee
+/// summary, and a continue-balanced loop that must stay clean.
+const PARITY_ITEMS: &[&str] = &[
+    "pub fn step_hinted(rng: &mut impl Rng, hinted: bool) -> u64 {\n    if hinted {\n        rng.gen::<u64>()\n    } else {\n        rng.gen::<u64>() ^ rng.gen::<u64>()\n    }\n}",
+    "pub fn refill_on_miss(rng: &mut impl Rng, miss: bool) -> u64 {\n    if miss {\n        draw_base(rng)\n    } else {\n        0\n    }\n}",
+    "fn draw_base(rng: &mut impl Rng) -> u64 {\n    rng.gen_range(0..64)\n}",
+    "pub fn scan_balanced(rng: &mut impl Rng, n: u64) -> u64 {\n    let mut acc = 0;\n    for i in 0..n {\n        if i % 2 == 0 {\n            acc ^= rng.gen::<u64>();\n            continue;\n        }\n        acc ^= rng.gen::<u64>();\n    }\n    acc\n}",
+    "pub fn either_way(rng: &mut impl Rng, flip: bool) -> u64 {\n    if flip {\n        draw_base(rng)\n    } else {\n        rng.gen::<u64>()\n    }\n}",
+];
+
+fn parity_corpus(seed: Option<u64>) -> Vec<(String, String)> {
+    let mut state = seed.unwrap_or(0);
+    let src = match seed {
+        Some(_) => shuffled(PARITY_ITEMS, &mut state),
+        None => PARITY_ITEMS.join("\n\n") + "\n",
+    };
+    vec![("crates/core/src/machine.rs".to_string(), src)]
+}
+
+/// The order-free signature of a draw-parity run: the analyzed-fn
+/// count plus sorted line-independent finding snippets.
+fn parity_verdicts(sources: &[(String, String)]) -> (usize, Vec<String>) {
+    let files: Vec<FileItems> = sources.iter().map(|(p, s)| parse_items(p, s)).collect();
+    let g = CallGraph::build(&files);
+    let mut findings = Vec::new();
+    let analyzed = dhs_lint::absint::draw_parity(&files, &g, &mut findings);
+    let mut snippets: Vec<String> = findings.into_iter().map(|f| f.snippet).collect();
+    snippets.sort();
+    (analyzed, snippets)
+}
+
+/// The order-free CFG signature of every fn in the corpus: block
+/// shapes with token offsets rebased to the body opener, keyed by
+/// qualified fn name.
+fn cfg_signatures(sources: &[(String, String)]) -> std::collections::BTreeMap<String, String> {
+    use dhs_lint::cfg::Cfg;
+    let mut out = std::collections::BTreeMap::new();
+    for (p, s) in sources {
+        let file = parse_items(p, s);
+        for f in &file.fns {
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let cfg = Cfg::build(&file.tokens, open, close);
+            let mut sig = String::new();
+            for b in &cfg.blocks {
+                let segs: Vec<(usize, usize, bool)> = b
+                    .segs
+                    .iter()
+                    .map(|sg| (sg.lo - open, sg.hi - open, sg.closure))
+                    .collect();
+                let branch = b.branch.as_ref().map(|br| {
+                    (
+                        format!("{:?}", br.kind),
+                        br.tok - open,
+                        br.arms.clone(),
+                        br.join,
+                    )
+                });
+                sig.push_str(&format!(
+                    "{segs:?} succs={:?} in_loop={} branch={branch:?};",
+                    b.succs, b.in_loop
+                ));
+            }
+            sig.push_str(&format!(" back={:?}", cfg.back_edges));
+            out.insert(f.qual_name.clone(), sig);
+        }
+    }
+    out
+}
+
+#[test]
+fn parity_corpus_flags_exactly_the_divergent_fns() {
+    let (analyzed, snippets) = parity_verdicts(&parity_corpus(None));
+    assert_eq!(analyzed, 5, "{snippets:#?}");
+    assert_eq!(snippets.len(), 2, "{snippets:#?}");
+    assert!(snippets[0].starts_with("refill_on_miss:"), "{snippets:#?}");
+    assert!(snippets[1].starts_with("step_hinted:"), "{snippets:#?}");
+}
+
+proptest! {
+    /// Shuffling top-level declarations never changes which fns the
+    /// draw-parity pass analyzes or flags.
+    #[test]
+    fn draw_parity_verdicts_survive_item_reordering(seed in any::<u64>()) {
+        let base = parity_verdicts(&parity_corpus(None));
+        let permuted = parity_verdicts(&parity_corpus(Some(seed)));
+        prop_assert_eq!(permuted, base);
+    }
+
+    /// Shuffling top-level declarations never changes any fn's CFG
+    /// once token offsets are rebased to its body opener.
+    #[test]
+    fn cfg_shapes_survive_item_reordering(seed in any::<u64>()) {
+        let base = cfg_signatures(&parity_corpus(None));
+        let permuted = cfg_signatures(&parity_corpus(Some(seed)));
+        prop_assert_eq!(permuted, base);
+    }
+}

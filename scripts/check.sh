@@ -29,29 +29,44 @@ cmp "$flow_a" "$flow_b"
 echo "dhs-lint --flow: clean, two runs byte-identical"
 
 # Call-resolution ratchet: the type-aware resolver's ambiguity count
-# must never rise and its resolution rate must never fall against the
-# committed baseline (crates/lint/baseline_resolution.txt). Improvements
-# are allowed — ratchet them in by regenerating the baseline with
-# `cargo run -p dhs-lint -- --stats > crates/lint/baseline_resolution.txt`.
+# must never rise and its resolution rate, closure-typing coverage,
+# and draw-parity analysis coverage must never fall against the
+# committed baseline (crates/lint/baseline_resolution.txt, a sorted-key
+# JSON object). Improvements are allowed — ratchet them in by
+# regenerating the baseline with
+# `cargo run -p dhs-lint -- --stats-json > crates/lint/baseline_resolution.txt`.
 stats_now=$(mktemp)
 trap 'rm -f "$lint_a" "$lint_b" "$flow_a" "$flow_b" "$stats_now"' EXIT
-cargo run --release --quiet -p dhs-lint -- --stats > "$stats_now"
-stat_of() { awk -v k="$2" '$1 == k { print $2 }' "$1"; }
-base_amb=$(stat_of crates/lint/baseline_resolution.txt ambiguous_calls)
-base_rate=$(stat_of crates/lint/baseline_resolution.txt resolution_rate_bp)
-now_amb=$(stat_of "$stats_now" ambiguous_calls)
-now_rate=$(stat_of "$stats_now" resolution_rate_bp)
-[ -n "$base_amb" ] && [ -n "$base_rate" ] && [ -n "$now_amb" ] && [ -n "$now_rate" ]
-if [ "$now_amb" -gt "$base_amb" ] || [ "$now_rate" -lt "$base_rate" ]; then
-  echo "resolution ratchet FAILED: ambiguous_calls $base_amb -> $now_amb," \
-       "resolution_rate_bp $base_rate -> $now_rate" >&2
-  exit 1
-fi
-if [ "$now_amb" -lt "$base_amb" ] || [ "$now_rate" -gt "$base_rate" ]; then
-  echo "resolution improved (ambiguous_calls $base_amb -> $now_amb," \
-       "resolution_rate_bp $base_rate -> $now_rate): consider ratcheting the baseline"
-fi
-echo "dhs-lint --stats: resolution ratchet holds ($now_amb ambiguous, ${now_rate}bp)"
+cargo run --release --quiet -p dhs-lint -- --stats-json > "$stats_now"
+stat_of() { sed -n "s/^ *\"$2\": *\([0-9][0-9]*\),\{0,1\}$/\1/p" "$1"; }
+ratchet_fail=0
+# ratchet <key> <direction>: `max` keys must not rise, `min` keys must
+# not fall, relative to the baseline.
+ratchet() {
+  local key=$1 dir=$2 base now
+  base=$(stat_of crates/lint/baseline_resolution.txt "$key")
+  now=$(stat_of "$stats_now" "$key")
+  if [ -z "$base" ] || [ -z "$now" ]; then
+    echo "resolution ratchet FAILED: counter $key missing" >&2
+    ratchet_fail=1
+  elif { [ "$dir" = max ] && [ "$now" -gt "$base" ]; } ||
+       { [ "$dir" = min ] && [ "$now" -lt "$base" ]; }; then
+    echo "resolution ratchet FAILED: $key $base -> $now" >&2
+    ratchet_fail=1
+  elif [ "$now" != "$base" ]; then
+    echo "resolution improved ($key $base -> $now): consider ratcheting the baseline"
+  fi
+}
+ratchet ambiguous_calls max
+ratchet resolution_rate_bp min
+ratchet closure_typed_sites min
+ratchet draw_parity_fns min
+[ "$ratchet_fail" -eq 0 ] || exit 1
+echo "dhs-lint --stats-json: resolution ratchet holds" \
+  "($(stat_of "$stats_now" ambiguous_calls) ambiguous," \
+  "$(stat_of "$stats_now" resolution_rate_bp)bp," \
+  "$(stat_of "$stats_now" closure_typed_sites) closure-typed," \
+  "$(stat_of "$stats_now" draw_parity_fns) parity-analyzed)"
 
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
